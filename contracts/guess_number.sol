@@ -1,0 +1,19 @@
+pragma solidity ^0.4.26;
+
+// Fig. 4 of the paper: strict msg.value gate and nested branches.
+contract Game {
+  mapping(address => uint256) balance;
+
+  function guessNum(uint256 number) public payable {
+    uint256 random = uint256(keccak256(block.timestamp, now)) % 200;
+    require(msg.value == 88 finney);
+    if (number < random) {
+      uint256 luckyNum = number % 2;
+      if (luckyNum == 0) {
+        balance[msg.sender] += msg.value * 10;
+      } else {
+        balance[msg.sender] += msg.value * 5;
+      }
+    }
+  }
+}

@@ -1,0 +1,21 @@
+pragma solidity ^0.4.26;
+
+// The classic DAO-style reentrancy pattern.
+contract SimpleDAO {
+  mapping(address => uint256) credit;
+
+  function donate(address to) public payable {
+    credit[to] += msg.value;
+  }
+
+  function withdraw(uint256 amount) public {
+    if (credit[msg.sender] >= amount) {
+      bool ok = msg.sender.call.value(amount)();
+      credit[msg.sender] -= amount;
+    }
+  }
+
+  function queryCredit(address to) public returns (uint256) {
+    return credit[to];
+  }
+}

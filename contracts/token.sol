@@ -1,0 +1,26 @@
+pragma solidity ^0.4.26;
+
+// ERC20-style token with unchecked arithmetic (solc 0.4, no SafeMath).
+contract Token {
+  mapping(address => uint256) balances;
+  uint256 totalSupply;
+  address owner;
+
+  constructor() public {
+    owner = msg.sender;
+    totalSupply = 1000000;
+    balances[msg.sender] = 1000000;
+  }
+
+  function transfer(address to, uint256 value) public {
+    balances[msg.sender] -= value;
+    balances[to] += value;
+  }
+
+  function batchMint(address to, uint256 count, uint256 each) public {
+    require(msg.sender == owner);
+    uint256 amount = count * each;
+    totalSupply += amount;
+    balances[to] += amount;
+  }
+}
