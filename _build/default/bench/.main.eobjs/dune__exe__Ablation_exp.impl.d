@@ -1,0 +1,1 @@
+bench/ablation_exp.ml: Corpus Exp List Minisol Mufuzz Printf Stdlib Util

@@ -1,0 +1,1 @@
+bench/bug_exp.ml: Baselines Corpus Exp List Oracles Printf Util

@@ -1,0 +1,1 @@
+bench/cache_exp.ml: Corpus Exp List Minisol Mufuzz Printf Unix Util

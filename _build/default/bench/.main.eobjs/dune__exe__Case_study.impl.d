@@ -1,0 +1,1 @@
+bench/case_study.ml: Abi Analysis Baselines Corpus Evm Exp Format List Minisol Mufuzz Printf String Util Word

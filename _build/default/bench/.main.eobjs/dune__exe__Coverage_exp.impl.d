@@ -1,0 +1,1 @@
+bench/coverage_exp.ml: Baselines Exp List Mufuzz Printf Util

@@ -1,0 +1,1 @@
+bench/exp.ml: Baselines Corpus Filename Hashtbl Int64 List Minisol Mufuzz Oracles Printf Stdlib String Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation_exp Array Bug_exp Cache_exp Case_study Coverage_exp Exp List Micro Printf Realworld_exp Sys Tables Unix

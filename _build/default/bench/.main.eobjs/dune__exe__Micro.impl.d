@@ -1,0 +1,1 @@
+bench/micro.ml: Abi Analyze Bechamel Benchmark Corpus Crypto Evm Exp Hashtbl Instance Lazy List Measure Minisol Mufuzz Printf Staged String Test Time Toolkit Util Word

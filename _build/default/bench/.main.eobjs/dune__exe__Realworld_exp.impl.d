@@ -1,0 +1,1 @@
+bench/realworld_exp.ml: Baselines Corpus Exp Hashtbl List Mufuzz Option Oracles Printf Util

@@ -1,0 +1,1 @@
+bench/tables.ml: Baselines Corpus Exp List Oracles Printf String Util

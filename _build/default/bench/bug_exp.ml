@@ -1,0 +1,136 @@
+(* Table III: true positives / false negatives / timeout-or-error cases
+   per bug class, for five static analyzers and five fuzzers on the
+   labelled D2 suite. *)
+
+module O = Oracles.Oracle
+
+type counts = { mutable tp : int; mutable fn : int; mutable te : int }
+
+let new_counts () =
+  List.map (fun cls -> (cls, { tp = 0; fn = 0; te = 0 })) O.all_classes
+
+let count_for counts cls = List.assoc cls counts
+
+(* also track false positives: findings whose class is not a label *)
+type tool_result = {
+  tool : string;
+  counts : (O.bug_class * counts) list;
+  mutable fp : int;
+}
+
+let eval_fuzzer (p : Baselines.Fuzzers.profile) budget suite =
+  let counts = new_counts () in
+  let res = { tool = p.name; counts; fp = 0 } in
+  List.iter
+    (fun (l : Corpus.Vuln.labelled) ->
+      let contract = Corpus.Vuln.compile l in
+      let report = Exp.run_tool p ~budget contract in
+      let found = Exp.classes_found report in
+      List.iter
+        (fun cls ->
+          let c = count_for counts cls in
+          if List.mem cls found then c.tp <- c.tp + 1 else c.fn <- c.fn + 1)
+        (List.sort_uniq compare l.labels);
+      List.iter
+        (fun cls -> if not (List.mem cls l.labels) then res.fp <- res.fp + 1)
+        found)
+    suite;
+  res
+
+let eval_static (p : Baselines.Staticdet.profile) suite =
+  let counts = new_counts () in
+  let res = { tool = p.name; counts; fp = 0 } in
+  List.iter
+    (fun (l : Corpus.Vuln.labelled) ->
+      let contract = Corpus.Vuln.compile l in
+      match Baselines.Staticdet.analyze p contract with
+      | Baselines.Staticdet.Timeout | Baselines.Staticdet.Error _ ->
+        List.iter
+          (fun cls -> (count_for counts cls).te <- (count_for counts cls).te + 1)
+          (List.sort_uniq compare l.labels)
+      | Baselines.Staticdet.Findings fs ->
+        let found =
+          List.sort_uniq compare (List.map (fun (f : O.finding) -> f.cls) fs)
+        in
+        List.iter
+          (fun cls ->
+            let c = count_for counts cls in
+            if List.mem cls found then c.tp <- c.tp + 1 else c.fn <- c.fn + 1)
+          (List.sort_uniq compare l.labels);
+        List.iter
+          (fun cls -> if not (List.mem cls l.labels) then res.fp <- res.fp + 1)
+          found)
+    suite;
+  res
+
+let supports_of tool =
+  match Baselines.Fuzzers.find tool with
+  | Some p -> p.Baselines.Fuzzers.supports
+  | None -> (
+    match Baselines.Staticdet.find tool with
+    | Some p -> p.Baselines.Staticdet.supports
+    | None -> O.all_classes)
+
+let print_results results =
+  let t =
+    Util.Table.create
+      ~headers:("Type" :: List.map (fun r -> r.tool) results)
+  in
+  List.iter
+    (fun cls ->
+      Util.Table.add_row t
+        (O.class_to_string cls
+        :: List.map
+             (fun r ->
+               let c = count_for r.counts cls in
+               if not (List.mem cls (supports_of r.tool)) then "n/a"
+               else Printf.sprintf "%d / %d / %d" c.tp c.fn c.te)
+             results))
+    O.all_classes;
+  Util.Table.add_separator t;
+  Util.Table.add_row t
+    ("Total"
+    :: List.map
+         (fun r ->
+           let tp, fn, te =
+             List.fold_left
+               (fun (a, b, c) (cls, cnt) ->
+                 if List.mem cls (supports_of r.tool) then
+                   (a + cnt.tp, b + cnt.fn, c + cnt.te)
+                 else (a, b, c))
+               (0, 0, 0) r.counts
+           in
+           Printf.sprintf "%d / %d / %d" tp fn te)
+         results);
+  Util.Table.add_row t
+    ("FP (unlabelled)" :: List.map (fun r -> string_of_int r.fp) results);
+  Util.Table.print t
+
+let run ?(suite = Corpus.Vuln.suite) () =
+  Exp.section "Table III - TP / FN / timeout-or-error per bug class (D2)";
+  let budget = Exp.budget_d2 () in
+  Printf.printf "suite: %d contracts, fuzzer budget %d execs each\n%!"
+    (List.length suite) budget;
+  let statics = List.map (fun p -> eval_static p suite) Baselines.Staticdet.all in
+  let fuzzers =
+    List.map
+      (fun p ->
+        let r = eval_fuzzer p budget suite in
+        Printf.printf "  %s done\n%!" p.Baselines.Fuzzers.name;
+        r)
+      Baselines.Fuzzers.all
+  in
+  print_results (statics @ fuzzers);
+  Exp.write_csv "table3.csv"
+    ("class" :: List.concat_map (fun r -> [ r.tool ^ "_tp"; r.tool ^ "_fn"; r.tool ^ "_te" ])
+                  (statics @ fuzzers))
+    (List.map
+       (fun cls ->
+         O.class_to_string cls
+         :: List.concat_map
+              (fun r ->
+                let c = count_for r.counts cls in
+                [ string_of_int c.tp; string_of_int c.fn; string_of_int c.te ])
+              (statics @ fuzzers))
+       O.all_classes);
+  statics @ fuzzers

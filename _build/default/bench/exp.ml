@@ -1,0 +1,99 @@
+(* Shared experiment plumbing for the per-table / per-figure benches.
+
+   Scale notes: the paper fuzzes 21k contracts for 10-20 minutes each on a
+   32-core server. The reproduction uses deterministic generated
+   populations and execution-count budgets instead of wall-clock budgets;
+   [scale] multiplies both population sizes and budgets. *)
+
+module Report = Mufuzz.Report
+module Config = Mufuzz.Config
+
+let scale = ref 1.0
+
+let scaled n = Stdlib.max 1 (int_of_float (float_of_int n *. !scale))
+
+(* deterministic per-contract seed so every tool sees the same draw *)
+let seed_of_name name =
+  let h = Hashtbl.hash name in
+  Int64.of_int ((h * 2654435761) land 0x3FFFFFFFFFFF)
+
+let budget_small () = scaled 1200
+let budget_large () = scaled 2000
+let budget_d2 () = scaled 2500
+let budget_d3 () = scaled 3000
+
+let n_d1_small () = scaled 36
+let n_d1_large () = scaled 14
+let n_fig7 () = scaled 12
+let n_d3 () = scaled 12
+
+(* D1: generated populations, filtered by the paper's 3632-instruction
+   small/large threshold. *)
+let d1_small () =
+  Corpus.Generator.population ~seed:101L ~n:(n_d1_small ()) Corpus.Generator.Small
+    ~bug_rate:0.1
+  |> List.map Corpus.Generator.compile
+  |> List.filter (fun c -> Minisol.Contract.instruction_count c <= 3632)
+
+let d1_large () =
+  Corpus.Generator.population ~seed:202L ~n:(n_d1_large ()) Corpus.Generator.Large
+    ~bug_rate:0.1
+  |> List.map Corpus.Generator.compile
+  |> List.filter (fun c -> Minisol.Contract.instruction_count c > 3632)
+
+(* D3: the "popular, >30k transactions" population — the large generator
+   at higher complexity, keeping its injected ground truth. *)
+let d3 () =
+  Corpus.Generator.population ~seed:303L ~n:(n_d3 ()) Corpus.Generator.Large
+    ~bug_rate:0.35
+
+let run_tool (profile : Baselines.Fuzzers.profile) ?(budget = 1000) contract =
+  let config =
+    { Config.default with rng_seed = seed_of_name contract.Minisol.Contract.name;
+      max_executions = budget }
+  in
+  Baselines.Fuzzers.run profile ~config contract
+
+let mean l =
+  match l with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let pct x = Printf.sprintf "%.1f%%" x
+
+(* coverage of a report at an execution checkpoint (series for Fig 5) *)
+let coverage_at (r : Report.t) execs =
+  let covered =
+    List.fold_left
+      (fun acc (cp : Report.checkpoint) ->
+        if cp.execs <= execs then Stdlib.max acc cp.covered else acc)
+      0 r.over_time
+  in
+  if r.total_branch_sides = 0 then 0.0
+  else 100.0 *. float_of_int covered /. float_of_int r.total_branch_sides
+
+let classes_found (r : Report.t) =
+  List.sort_uniq compare
+    (List.map (fun (f : Oracles.Oracle.finding) -> f.cls) r.findings)
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+(* raw data export for plotting *)
+let results_dir = "bench_results"
+
+let write_csv name headers rows =
+  (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat results_dir name in
+  let oc = open_out path in
+  output_string oc (String.concat "," headers);
+  output_char oc '\n';
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," row);
+      output_char oc '\n')
+    rows;
+  close_out oc;
+  Printf.printf "[data] wrote %s\n%!" path

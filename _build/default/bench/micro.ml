@@ -1,0 +1,70 @@
+(* Bechamel micro-benchmarks of the substrate and the fuzzer's hot
+   paths: Keccak-256, 256-bit arithmetic, a full transaction execution,
+   one mutation, a mask computation and a whole mini-campaign. *)
+
+open Bechamel
+open Toolkit
+
+let contract = lazy (Minisol.Contract.compile Corpus.Examples.crowdsale)
+
+let keccak_bench =
+  Test.make ~name:"keccak256 (136B block)" (Staged.stage (fun () ->
+      ignore (Crypto.Keccak.hash (String.make 100 'x'))))
+
+let u256_mul_bench =
+  let a = Word.U256.of_decimal_string "123456789123456789123456789" in
+  let b = Word.U256.of_decimal_string "987654321987654321987654321" in
+  Test.make ~name:"u256 mul" (Staged.stage (fun () -> ignore (Word.U256.mul a b)))
+
+let u256_divmod_bench =
+  let a = Word.U256.max_value in
+  let b = Word.U256.of_decimal_string "1000000000000000000" in
+  Test.make ~name:"u256 divmod" (Staged.stage (fun () -> ignore (Word.U256.divmod a b)))
+
+let tx_bench =
+  Test.make ~name:"one transaction (invest)" (Staged.stage (fun () ->
+      let c = Lazy.force contract in
+      let st = Minisol.Contract.deploy Evm.State.empty Mufuzz.Accounts.contract_address c in
+      let st = Evm.State.credit st Mufuzz.Accounts.deployer Word.U256.max_value in
+      let invest = List.find (fun f -> f.Abi.name = "invest") c.abi in
+      let msg =
+        { Evm.Interp.caller = Mufuzz.Accounts.deployer;
+          origin = Mufuzz.Accounts.deployer;
+          callee = Mufuzz.Accounts.contract_address;
+          value = Word.U256.zero;
+          data = Abi.encode_call invest [ Abi.VUint (Word.U256.of_int 5) ];
+          gas = 1_000_000 }
+      in
+      ignore (Evm.Interp.execute ~block:Evm.Interp.default_block ~state:st msg)))
+
+let mutation_bench =
+  let rng = Util.Rng.create 7L in
+  let stream = String.make 64 '\042' in
+  Test.make ~name:"one mutation" (Staged.stage (fun () ->
+      let m = Mufuzz.Mutation.random rng ~max_n:8 in
+      ignore (Mufuzz.Mutation.apply rng m ~pos:(Util.Rng.int rng 64) stream)))
+
+let campaign_bench =
+  Test.make ~name:"campaign (100 execs)" (Staged.stage (fun () ->
+      let config = { Mufuzz.Config.default with max_executions = 100 } in
+      ignore (Mufuzz.Campaign.run ~config (Lazy.force contract))))
+
+let benches =
+  [ keccak_bench; u256_mul_bench; u256_divmod_bench; tx_bench; mutation_bench;
+    campaign_bench ]
+
+let run () =
+  Exp.section "Micro-benchmarks (bechamel, ns per run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"mufuzz" benches) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "  %-40s %14.1f ns/run\n%!" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
+    results

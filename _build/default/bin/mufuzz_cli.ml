@@ -1,0 +1,296 @@
+(* The mufuzz command-line tool.
+
+   Subcommands:
+     fuzz <file.sol>      — fuzz a contract and report coverage + findings
+     analyze <file.sol>   — static front end: sequence, dependencies, CFG
+     disasm <file.sol>    — compile and print the bytecode listing
+     exec <file.sol> fn   — run a single transaction and dump the trace
+     static <file.sol>    — run the reimplemented static analyzers *)
+
+open Cmdliner
+
+let read_source path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  match Minisol.Contract.compile (read_source path) with
+  | c -> c
+  | exception Minisol.Lexer.Lex_error (msg, line, col) ->
+    Printf.eprintf "%s:%d:%d: lexical error: %s\n" path line col msg;
+    exit 1
+  | exception Minisol.Parser.Parse_error (msg, line, col) ->
+    Printf.eprintf "%s:%d:%d: parse error: %s\n" path line col msg;
+    exit 1
+  | exception Minisol.Typecheck.Type_error msg ->
+    Printf.eprintf "%s: type error: %s\n" path msg;
+    exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Minisol contract source file.")
+
+let budget_arg =
+  Arg.(value & opt int 5000 & info [ "budget"; "n" ] ~docv:"N"
+         ~doc:"Execution budget (transaction sequences).")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Campaign RNG seed (campaigns are deterministic per seed).")
+
+let tool_arg =
+  Arg.(value & opt string "MuFuzz" & info [ "tool" ] ~docv:"TOOL"
+         ~doc:"Fuzzer profile: MuFuzz, sFuzz, ConFuzzius, Smartian, IR-Fuzz.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+         ~doc:"Write the full report to a file.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log campaign events (new findings, coverage growth).")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let corpus_in_arg =
+  Arg.(value & opt (some file) None & info [ "corpus" ] ~docv:"FILE"
+         ~doc:"Bootstrap the campaign from a saved seed corpus.")
+
+let corpus_out_arg =
+  Arg.(value & opt (some string) None & info [ "save-corpus" ] ~docv:"FILE"
+         ~doc:"Save the final seed queue for a later run.")
+
+let minimize_arg =
+  Arg.(value & flag & info [ "minimize" ] ~doc:"Shrink each witness sequence to a minimal proof-of-concept (delta debugging).")
+
+let ablation_arg =
+  Arg.(value & opt_all string [] & info [ "disable" ] ~docv:"COMPONENT"
+         ~doc:"Disable a MuFuzz component: sequence, mask, energy. Repeatable.")
+
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let run file budget seed tool disabled out do_minimize corpus_in corpus_out
+      verbose =
+    setup_logs verbose;
+    let contract = load file in
+    let profile =
+      match Baselines.Fuzzers.find tool with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown tool %s\n" tool;
+        exit 1
+    in
+    let config =
+      { Mufuzz.Config.default with max_executions = budget; rng_seed = seed }
+    in
+    let config =
+      List.fold_left
+        (fun config component ->
+          match component with
+          | "sequence" -> Mufuzz.Config.ablation_no_sequence config
+          | "mask" -> Mufuzz.Config.ablation_no_mask config
+          | "energy" -> Mufuzz.Config.ablation_no_energy config
+          | other ->
+            Printf.eprintf "unknown component %s\n" other;
+            exit 1)
+        config disabled
+    in
+    let config =
+      match corpus_in with
+      | Some path -> begin
+        match Mufuzz.Replay.load_corpus ~abi:contract.Minisol.Contract.abi path with
+        | seeds ->
+          Printf.printf "loaded %d corpus seeds from %s\n" (List.length seeds) path;
+          { config with initial_corpus = seeds }
+        | exception Mufuzz.Replay.Corrupt msg ->
+          Printf.eprintf "corrupt corpus %s: %s\n" path msg;
+          exit 1
+      end
+      | None -> config
+    in
+    Printf.printf "fuzzing %s with %s (budget %d, seed %Ld)\n"
+      contract.Minisol.Contract.name profile.name budget seed;
+    Printf.printf "sequence: [%s]\n\n"
+      (String.concat " -> " (Mufuzz.Campaign.derive_sequence contract));
+    let report = Baselines.Fuzzers.run profile ~config contract in
+    Format.printf "%a@." Mufuzz.Report.pp_summary report;
+    List.iter
+      (fun ((f : Oracles.Oracle.finding), witness) ->
+        Format.printf "@.%a@.  %s@.  witness: %s@." Oracles.Oracle.pp_finding f
+          (Oracles.Oracle.class_description f.cls)
+          witness)
+      report.witnesses;
+    if do_minimize && report.witness_seeds <> [] then begin
+      print_endline "\nminimized witnesses:";
+      List.iter
+        (fun ((f : Oracles.Oracle.finding), seed) ->
+          let shrunk, spent =
+            Mufuzz.Minimize.minimize ~contract ~gas:config.gas_per_tx
+              ~n_senders:config.n_senders ~attacker:config.attacker_enabled f seed
+          in
+          Format.printf "  [%s] (%d extra execs) %s@."
+            (Oracles.Oracle.class_to_string f.cls)
+            spent (Mufuzz.Seed.show shrunk))
+        report.witness_seeds
+    end;
+    (match corpus_out with
+    | Some path ->
+      Mufuzz.Replay.save_corpus path report.corpus;
+      Printf.printf "\nsaved %d corpus seeds to %s\n" (List.length report.corpus)
+        path
+    | None -> ());
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Mufuzz.Report.to_text report);
+      close_out oc;
+      Printf.printf "\nfull report written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Fuzz a contract and report coverage and findings.")
+    Term.(const run $ file_arg $ budget_arg $ seed_arg $ tool_arg $ ablation_arg
+          $ out_arg $ minimize_arg $ corpus_in_arg $ corpus_out_arg $ verbose_arg)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let run file =
+    let contract = load file in
+    let info = Analysis.Statevars.analyze contract.ast in
+    Format.printf "%a@." Analysis.Statevars.pp info;
+    Printf.printf "dependency edges:\n";
+    List.iter
+      (fun (w, r, v) -> Printf.printf "  %s -[%s]-> %s\n" w v r)
+      (Analysis.Sequence.dependency_edges info);
+    Printf.printf "base sequence   : [%s]\n"
+      (String.concat " -> " (Analysis.Sequence.derive_base info));
+    Printf.printf "mutated sequence: [%s]\n"
+      (String.concat " -> " (Analysis.Sequence.derive info));
+    let cfg = Analysis.Cfg.build contract.bytecode in
+    Printf.printf "branches: %d JUMPIs; vulnerable instructions: %d\n"
+      (List.length (Analysis.Cfg.branch_points cfg))
+      (List.length (Analysis.Cfg.vulnerable_pcs cfg))
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the static front end on a contract.")
+    Term.(const run $ file_arg)
+
+(* ---------------- disasm ---------------- *)
+
+let disasm_cmd =
+  let run file =
+    let contract = load file in
+    print_string (Evm.Bytecode.to_listing contract.bytecode)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Compile and print the bytecode listing.")
+    Term.(const run $ file_arg)
+
+(* ---------------- exec ---------------- *)
+
+let exec_cmd =
+  let fn_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FUNCTION"
+           ~doc:"Function name to call (constructor runs first).")
+  in
+  let args_arg =
+    Arg.(value & opt_all string [] & info [ "arg" ] ~docv:"VALUE"
+           ~doc:"Decimal argument value. Repeatable, in order.")
+  in
+  let value_arg =
+    Arg.(value & opt string "0" & info [ "value" ] ~docv:"WEI"
+           ~doc:"msg.value in wei.")
+  in
+  let run file fn_name args value =
+    let contract = load file in
+    let addr = Mufuzz.Accounts.contract_address in
+    let caller = Mufuzz.Accounts.deployer in
+    let st = Minisol.Contract.deploy Evm.State.empty addr contract in
+    let st = Evm.State.credit st caller (Word.U256.shift_left Word.U256.one 200) in
+    let call st name vals value =
+      let f =
+        match List.find_opt (fun (f : Abi.func) -> f.Abi.name = name) contract.abi with
+        | Some f -> f
+        | None ->
+          Printf.eprintf "no function %s\n" name;
+          exit 1
+      in
+      Evm.Interp.execute ~block:Evm.Interp.default_block ~state:st
+        { caller; origin = caller; callee = addr; value;
+          data = Abi.encode_call f vals; gas = 5_000_000 }
+    in
+    let st, _ = call st "constructor" [] Word.U256.zero in
+    let vals = List.map (fun s -> Abi.VUint (Word.U256.of_decimal_string s)) args in
+    let st, trace = call st fn_name vals (Word.U256.of_decimal_string value) in
+    Printf.printf "status: %s, gas used: %d\n" (Evm.Trace.status_to_string trace.status)
+      trace.gas_used;
+    List.iter (fun e -> Format.printf "  %a@." Evm.Trace.pp_event e) trace.events;
+    Printf.printf "storage after:\n";
+    List.iter
+      (fun (k, v) ->
+        Printf.printf "  %s = %s\n" (Word.U256.to_hex_string k)
+          (Word.U256.to_decimal_string v))
+      (Evm.State.storage_dump st addr)
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Execute one transaction and dump the trace.")
+    Term.(const run $ file_arg $ fn_arg $ args_arg $ value_arg)
+
+(* ---------------- corpus ---------------- *)
+
+let corpus_cmd =
+  let dir_arg =
+    Arg.(value & opt string "d2_suite" & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Output directory for the labelled suite.")
+  in
+  let run dir =
+    Corpus.Vuln.write_to_dir dir;
+    Printf.printf "wrote %d contracts (+LABELS.txt) to %s/\n"
+      (List.length Corpus.Vuln.suite) dir
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Export the labelled D2 vulnerability suite as .sol files.")
+    Term.(const run $ dir_arg)
+
+(* ---------------- static ---------------- *)
+
+let static_cmd =
+  let run file =
+    let contract = load file in
+    List.iter
+      (fun (p : Baselines.Staticdet.profile) ->
+        match Baselines.Staticdet.analyze p contract with
+        | Baselines.Staticdet.Findings fs ->
+          Printf.printf "%-10s:" p.name;
+          if fs = [] then print_endline " clean"
+          else begin
+            print_newline ();
+            List.iter
+              (fun (f : Oracles.Oracle.finding) ->
+                Printf.printf "  [%s] %s\n"
+                  (Oracles.Oracle.class_to_string f.cls)
+                  f.detail)
+              fs
+          end
+        | Baselines.Staticdet.Timeout -> Printf.printf "%-10s: timeout\n" p.name
+        | Baselines.Staticdet.Error e -> Printf.printf "%-10s: error (%s)\n" p.name e)
+      Baselines.Staticdet.all
+  in
+  Cmd.v
+    (Cmd.info "static" ~doc:"Run the reimplemented static analyzers.")
+    Term.(const run $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "mufuzz" ~version:"1.0.0"
+      ~doc:"Sequence-aware smart contract fuzzing (MuFuzz, ICDE 2024 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ fuzz_cmd; analyze_cmd; disasm_cmd; exec_cmd; static_cmd; corpus_cmd ]))

@@ -1,0 +1,1 @@
+examples/campaign_compare.ml: Baselines Corpus Hashtbl Int64 List Minisol Mufuzz Printf Sys Util

@@ -1,0 +1,1 @@
+examples/crowdsale_hunt.ml: Abi Analysis Array Corpus Evm Format List Minisol Mufuzz Printf String Word

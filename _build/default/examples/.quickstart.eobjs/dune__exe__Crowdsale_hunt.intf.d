@@ -1,0 +1,1 @@
+examples/crowdsale_hunt.mli:

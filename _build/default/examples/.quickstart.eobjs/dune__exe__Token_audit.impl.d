@@ -1,0 +1,1 @@
+examples/token_audit.ml: Array Baselines Format List Minisol Mufuzz Oracles Printf String

@@ -1,0 +1,91 @@
+module U = Word.U256
+
+type ty = Uint256 | Uint8 | Address | Bool
+
+let ty_to_string = function
+  | Uint256 -> "uint256"
+  | Uint8 -> "uint8"
+  | Address -> "address"
+  | Bool -> "bool"
+
+let word_size = 32
+
+type value = VUint of U.t | VAddress of U.t | VBool of bool
+
+let value_to_string = function
+  | VUint v -> U.to_decimal_string v
+  | VAddress a -> U.to_hex_string a
+  | VBool b -> string_of_bool b
+
+type func = {
+  name : string;
+  inputs : ty list;
+  payable : bool;
+  is_constructor : bool;
+}
+
+let signature f =
+  Printf.sprintf "%s(%s)" f.name
+    (String.concat "," (List.map ty_to_string f.inputs))
+
+let selector f = Crypto.Keccak.selector (signature f)
+
+let address_mask =
+  U.sub (U.shift_left U.one 160) U.one
+
+let canonicalize_word ty w =
+  match ty with
+  | Uint256 -> w
+  | Uint8 -> U.logand w (U.of_int 0xff)
+  | Address -> U.logand w address_mask
+  | Bool -> if U.is_zero w then U.zero else U.one
+
+let word_of_value ty v =
+  let w =
+    match v with
+    | VUint w -> w
+    | VAddress w -> w
+    | VBool b -> if b then U.one else U.zero
+  in
+  canonicalize_word ty w
+
+let encode_value ty v = U.to_bytes_be (word_of_value ty v)
+
+let encode_call f values =
+  if List.length values <> List.length f.inputs then
+    invalid_arg "Abi.encode_call: arity mismatch";
+  let buf = Buffer.create (4 + (word_size * List.length values)) in
+  Buffer.add_string buf (selector f);
+  List.iter2 (fun ty v -> Buffer.add_string buf (encode_value ty v)) f.inputs values;
+  Buffer.contents buf
+
+let args_byte_length f = word_size * List.length f.inputs
+
+let encode_args_raw f raw =
+  let buf = Buffer.create (4 + args_byte_length f) in
+  Buffer.add_string buf (selector f);
+  List.iteri
+    (fun i ty ->
+      let word =
+        String.init word_size (fun j ->
+            let k = (i * word_size) + j in
+            if k < String.length raw then raw.[k] else '\000')
+      in
+      Buffer.add_string buf (U.to_bytes_be (canonicalize_word ty (U.of_bytes_be word))))
+    f.inputs;
+  Buffer.contents buf
+
+let decode_args f data =
+  List.mapi
+    (fun i ty ->
+      let word =
+        String.init word_size (fun j ->
+            let k = (i * word_size) + j in
+            if k < String.length data then data.[k] else '\000')
+      in
+      let w = canonicalize_word ty (U.of_bytes_be word) in
+      match ty with
+      | Uint256 | Uint8 -> VUint w
+      | Address -> VAddress w
+      | Bool -> VBool (not (U.is_zero w)))
+    f.inputs

@@ -1,0 +1,66 @@
+(** Ethereum contract ABI: types, selectors, and argument encoding.
+
+    The fuzzer represents a transaction's inputs as a raw byte stream (the
+    mutation unit of §IV-B); this module gives that stream its meaning,
+    converting between typed values and the calldata consumed by the EVM's
+    [CALLDATALOAD]. Only the static head types used by the Minisol
+    language are supported — every contract in the paper's motivating
+    examples and every bug-class pattern is expressible with these. *)
+
+type ty =
+  | Uint256
+  | Uint8
+  | Address
+  | Bool
+
+val ty_to_string : ty -> string
+(** Canonical signature rendering, e.g. ["uint256"]. *)
+
+val word_size : int
+(** Bytes per encoded argument (32). *)
+
+type value =
+  | VUint of Word.U256.t
+  | VAddress of Word.U256.t
+  | VBool of bool
+
+val value_to_string : value -> string
+
+(** A function entry in a contract's ABI. *)
+type func = {
+  name : string;
+  inputs : ty list;
+  payable : bool;
+  is_constructor : bool;
+}
+
+val signature : func -> string
+(** ["name(ty1,ty2,...)"]. *)
+
+val selector : func -> string
+(** First 4 bytes of the Keccak-256 of {!signature}. *)
+
+val encode_value : ty -> value -> string
+(** 32-byte big-endian encoding; values are canonicalised to the type's
+    width (e.g. a [Uint8] keeps only its low byte). *)
+
+val encode_call : func -> value list -> string
+(** Full calldata: selector followed by the encoded arguments.
+    @raise Invalid_argument on arity mismatch. *)
+
+val encode_args_raw : func -> string -> string
+(** [encode_args_raw f raw] builds calldata from an untyped byte stream:
+    the stream is cut into 32-byte words (zero-padded at the tail), one
+    per input, canonicalised to each input's type so that mutated bytes
+    always decode to a well-typed argument. *)
+
+val args_byte_length : func -> int
+(** Length of the raw argument stream [encode_args_raw] expects. *)
+
+val decode_args : func -> string -> value list
+(** Inverse of the argument part of {!encode_call} (tolerates short
+    input by zero-extension). *)
+
+val canonicalize_word : ty -> Word.U256.t -> Word.U256.t
+(** Mask a word to the type's value domain ([Uint8] -> low byte,
+    [Address] -> low 20 bytes, [Bool] -> 0/1). *)

@@ -1,0 +1,1 @@
+lib/analysis/prefix.ml: Array Cfg Evm Hashtbl List

@@ -1,0 +1,1 @@
+lib/analysis/prefix.mli: Cfg Evm Hashtbl

@@ -1,0 +1,1 @@
+lib/analysis/sequence.ml: List Statevars Util

@@ -1,0 +1,1 @@
+lib/analysis/sequence.mli: Statevars Util

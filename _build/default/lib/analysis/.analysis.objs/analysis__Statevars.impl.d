@@ -1,0 +1,1 @@
+lib/analysis/statevars.ml: Format List Minisol Option Set String

@@ -1,0 +1,1 @@
+lib/analysis/statevars.mli: Format Minisol Set

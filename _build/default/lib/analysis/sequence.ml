@@ -1,0 +1,101 @@
+module SS = Statevars.StringSet
+
+let dependency_edges (t : Statevars.t) =
+  List.concat_map
+    (fun (w : Statevars.func_info) ->
+      List.concat_map
+        (fun (r : Statevars.func_info) ->
+          if w.fn_name = r.fn_name then []
+          else
+            SS.elements (SS.inter w.writes r.reads)
+            |> List.map (fun v -> (w.fn_name, r.fn_name, v)))
+        t.funcs)
+    t.funcs
+
+let derive_base (t : Statevars.t) =
+  let stateful, stateless =
+    List.partition (fun (i : Statevars.func_info) -> i.touches_state) t.funcs
+  in
+  let names = List.map (fun (i : Statevars.func_info) -> i.fn_name) stateful in
+  let edges =
+    List.filter
+      (fun (w, r, _) -> List.mem w names && List.mem r names)
+      (dependency_edges t)
+  in
+  (* Kahn's algorithm with declaration-order tie-breaking; when only a
+     cycle remains, peel the declaration-earliest node. *)
+  let in_degree name =
+    List.length
+      (List.sort_uniq compare
+         (List.filter_map (fun (w, r, _) -> if r = name then Some w else None) edges))
+  in
+  let order = ref [] in
+  let remaining = ref names in
+  let removed = ref [] in
+  while !remaining <> [] do
+    let degrees =
+      List.map
+        (fun n ->
+          let d =
+            List.length
+              (List.sort_uniq compare
+                 (List.filter_map
+                    (fun (w, r, _) ->
+                      if r = n && List.mem w !remaining && w <> n then Some w else None)
+                    edges))
+          in
+          (n, d))
+        !remaining
+    in
+    let next =
+      match List.find_opt (fun (_, d) -> d = 0) degrees with
+      | Some (n, _) -> n
+      | None -> fst (List.hd degrees) (* cycle: take declaration-earliest *)
+    in
+    order := next :: !order;
+    removed := next :: !removed;
+    remaining := List.filter (fun n -> n <> next) !remaining
+  done;
+  ignore in_degree;
+  List.rev !order
+  @ List.map (fun (i : Statevars.func_info) -> i.fn_name) stateless
+
+let repeat_mutation (t : Statevars.t) seq =
+  let count name = List.length (List.filter (( = ) name) seq) in
+  List.fold_left
+    (fun seq (i : Statevars.func_info) ->
+      if (not (Statevars.should_repeat t i)) || count i.fn_name > 1 then seq
+      else begin
+        (* The variables whose update is gated behind branches. *)
+        let critical = SS.inter i.raw_vars t.all_branch_reads in
+        let reads_critical name =
+          match Statevars.info t name with
+          | Some fi ->
+            name <> i.fn_name
+            && SS.exists (fun v -> SS.mem v fi.reads) critical
+          | None -> false
+        in
+        (* Insert the repeated call right before the last reader of a
+           critical variable; if none follows, append at the end. *)
+        let last_reader_idx =
+          List.fold_left
+            (fun (best, idx) name ->
+              ((if reads_critical name then Some idx else best), idx + 1))
+            (None, 0) seq
+          |> fst
+        in
+        match last_reader_idx with
+        | Some idx ->
+          List.concat
+            (List.mapi
+               (fun j name -> if j = idx then [ i.fn_name; name ] else [ name ])
+               seq)
+        | None -> seq @ [ i.fn_name ]
+      end)
+    seq t.funcs
+
+let derive t = repeat_mutation t (derive_base t)
+
+let random_sequence rng (t : Statevars.t) =
+  Util.Rng.shuffle_list rng
+    (List.map (fun (i : Statevars.func_info) -> i.fn_name) t.funcs)

@@ -1,0 +1,28 @@
+(** Transaction-sequence derivation and sequence-aware mutation (§IV-A).
+
+    The base sequence orders functions so that a writer of a state
+    variable precedes its readers (write→read data-flow edges, ties broken
+    by declaration order; cycles broken greedily). The sequence-aware
+    mutation then repeats every function that satisfies the RAW-plus-
+    branch-read rule, inserting the copy right before the sequence's last
+    reader of the affected variable — reproducing the paper's
+    [invest → refund → invest → withdraw] on the Crowdsale example. *)
+
+val derive_base : Statevars.t -> string list
+(** Data-flow ordered public function names (constructor excluded — the
+    campaign always places it first). Functions touching no state keep
+    their declaration order at the tail. *)
+
+val repeat_mutation : Statevars.t -> string list -> string list
+(** Apply the §IV-A repetition rule to a sequence. Idempotent: functions
+    already appearing twice are not repeated again. *)
+
+val derive : Statevars.t -> string list
+(** [repeat_mutation info (derive_base info)]. *)
+
+val random_sequence : Util.Rng.t -> Statevars.t -> string list
+(** Uniformly shuffled ordering (the sFuzz-style baseline and the
+    "without sequence-aware mutation" ablation). *)
+
+val dependency_edges : Statevars.t -> (string * string * string) list
+(** [(writer, reader, variable)] write→read edges, for reporting. *)

@@ -1,0 +1,148 @@
+open Minisol.Ast
+module StringSet = Set.Make (String)
+
+type func_info = {
+  fn_name : string;
+  reads : StringSet.t;
+  writes : StringSet.t;
+  branch_reads : StringSet.t;
+  raw_vars : StringSet.t;
+  touches_state : bool;
+}
+
+type t = {
+  contract_name : string;
+  funcs : func_info list;
+  all_branch_reads : StringSet.t;
+}
+
+(* State variables named in an expression. Locals and parameters shadow
+   state variables, so membership is checked against the state-var list
+   minus the function's own bindings. *)
+let rec expr_vars is_state e acc =
+  match e with
+  | Number _ | Bool_lit _ | Msg_sender | Msg_value | Tx_origin | Block_timestamp
+  | Block_number | Block_difficulty | Block_coinbase | This_balance ->
+    acc
+  | Ident name | Array_length name ->
+    if is_state name then StringSet.add name acc else acc
+  | Index (name, key) | Array_push (name, key) ->
+    let acc = if is_state name then StringSet.add name acc else acc in
+    expr_vars is_state key acc
+  | Unop (_, e) | Balance_of e | Blockhash e -> expr_vars is_state e acc
+  | Binop (_, a, b) | Send (a, b) | Call_value (a, b) | Transfer_call (a, b)
+  | Delegatecall (a, b) ->
+    expr_vars is_state a (expr_vars is_state b acc)
+  | Keccak es | Internal_call (_, es) ->
+    List.fold_left (fun acc e -> expr_vars is_state e acc) acc es
+
+type acc = {
+  mutable rd : StringSet.t;
+  mutable wr : StringSet.t;
+  mutable br : StringSet.t;
+}
+
+let rec walk_stmts is_state a stmts =
+  let read e = a.rd <- expr_vars is_state e a.rd in
+  let branch_read e = a.br <- expr_vars is_state e a.br in
+  let write_lv = function
+    | L_var name -> if is_state name then a.wr <- StringSet.add name a.wr
+    | L_index (name, key) ->
+      if is_state name then a.wr <- StringSet.add name a.wr;
+      read key
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Local (_, _, init) -> Option.iter read init
+      | Assign (lv, e) ->
+        write_lv lv;
+        read e
+      | Aug_assign (lv, _, e) ->
+        write_lv lv;
+        (* compound assignment also reads the target *)
+        (match lv with
+        | L_var name -> if is_state name then a.rd <- StringSet.add name a.rd
+        | L_index (name, key) ->
+          if is_state name then a.rd <- StringSet.add name a.rd;
+          read key);
+        read e
+      | If (cond, t, e) ->
+        read cond;
+        branch_read cond;
+        walk_stmts is_state a t;
+        walk_stmts is_state a e
+      | While (cond, b) ->
+        read cond;
+        branch_read cond;
+        walk_stmts is_state a b
+      | For (init, cond, post, b) ->
+        Option.iter (fun i -> walk_stmts is_state a [ i ]) init;
+        read cond;
+        branch_read cond;
+        Option.iter (fun p -> walk_stmts is_state a [ p ]) post;
+        walk_stmts is_state a b
+      | Require cond | Assert cond ->
+        read cond;
+        branch_read cond
+      | Revert -> ()
+      | Return e -> Option.iter read e
+      | Expr_stmt e -> read e
+      | Selfdestruct e -> read e
+      | Emit (_, es) -> List.iter read es)
+    stmts
+
+let analyze_function (c : contract) (f : func) =
+  let shadowed =
+    List.map snd f.params
+    @ List.filter_map (function Local (_, n, _) -> Some n | _ -> None) f.body
+  in
+  let is_state name =
+    (not (List.mem name shadowed)) && find_state_var c name <> None
+  in
+  let a = { rd = StringSet.empty; wr = StringSet.empty; br = StringSet.empty } in
+  (* modifier bodies execute as part of the function *)
+  let body =
+    List.fold_right
+      (fun mname body ->
+        match List.find_opt (fun d -> d.m_name = mname) c.modifiers_decls with
+        | Some d -> d.m_body_pre @ body @ d.m_body_post
+        | None -> body)
+      f.modifiers f.body
+  in
+  walk_stmts is_state a body;
+  {
+    fn_name = f.name;
+    reads = a.rd;
+    writes = a.wr;
+    branch_reads = a.br;
+    raw_vars = StringSet.inter a.rd a.wr;
+    touches_state = not (StringSet.is_empty (StringSet.union a.rd a.wr));
+  }
+
+let analyze (c : contract) =
+  let all = List.map (analyze_function c) c.functions in
+  let funcs =
+    List.filter_map
+      (fun ((f : func), info) ->
+        if f.visibility = Public && not f.is_constructor then Some info else None)
+      (List.combine c.functions all)
+  in
+  let all_branch_reads =
+    List.fold_left (fun acc i -> StringSet.union acc i.branch_reads) StringSet.empty all
+  in
+  { contract_name = c.c_name; funcs; all_branch_reads }
+
+let info t name = List.find_opt (fun i -> i.fn_name = name) t.funcs
+
+let should_repeat t i =
+  StringSet.exists (fun v -> StringSet.mem v t.all_branch_reads) i.raw_vars
+
+let pp fmt t =
+  let set s = String.concat "," (StringSet.elements s) in
+  Format.fprintf fmt "contract %s@." t.contract_name;
+  List.iter
+    (fun i ->
+      Format.fprintf fmt "  %s: reads={%s} writes={%s} branch={%s} raw={%s}@."
+        i.fn_name (set i.reads) (set i.writes) (set i.branch_reads) (set i.raw_vars))
+    t.funcs

@@ -1,0 +1,38 @@
+(** State-variable read/write analysis over the Minisol AST (§IV-A).
+
+    For every public function the analysis computes which state variables
+    it reads, writes, and reads inside branch conditions, plus whether it
+    carries a read-after-write (RAW) dependency — the paper's trigger for
+    repeating a function inside the transaction sequence. *)
+
+module StringSet : Set.S with type elt = string
+
+type func_info = {
+  fn_name : string;
+  reads : StringSet.t;
+  writes : StringSet.t;
+  branch_reads : StringSet.t;
+      (** state variables appearing in this function's [if]/[while]/[for]/
+          [require]/[assert] conditions *)
+  raw_vars : StringSet.t;
+      (** state variables both read and written by this function *)
+  touches_state : bool;
+}
+
+type t = {
+  contract_name : string;
+  funcs : func_info list;  (** public non-constructor functions, in order *)
+  all_branch_reads : StringSet.t;
+      (** union of [branch_reads] over every function incl. constructor *)
+}
+
+val analyze : Minisol.Ast.contract -> t
+
+val info : t -> string -> func_info option
+
+val should_repeat : t -> func_info -> bool
+(** The §IV-A repetition rule: the function has a RAW dependency on some
+    state variable [V] and [V] is read by a branch statement somewhere in
+    the contract. *)
+
+val pp : Format.formatter -> t -> unit

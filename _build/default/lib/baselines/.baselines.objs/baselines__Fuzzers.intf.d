@@ -1,0 +1,1 @@
+lib/baselines/fuzzers.mli: Minisol Mufuzz Oracles

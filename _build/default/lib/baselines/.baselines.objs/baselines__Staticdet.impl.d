@@ -1,0 +1,1 @@
+lib/baselines/staticdet.ml: Abi List Minisol Oracles Printf String

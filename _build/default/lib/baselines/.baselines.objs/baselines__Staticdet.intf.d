@@ -1,0 +1,1 @@
+lib/baselines/staticdet.mli: Minisol Oracles

@@ -1,0 +1,136 @@
+module O = Oracles.Oracle
+module C = Mufuzz.Config
+
+type profile = {
+  name : string;
+  configure : C.t -> C.t;
+  supports : O.bug_class list;
+}
+
+(* Supported bug classes per tool, from Table I of the paper. *)
+
+let mufuzz =
+  {
+    name = "MuFuzz";
+    configure = (fun c -> c);
+    supports = [ O.BD; O.UD; O.EF; O.IO; O.RE; O.US; O.SE; O.TO; O.UE ];
+  }
+
+let sfuzz =
+  {
+    name = "sFuzz";
+    configure =
+      (fun c ->
+        {
+          c with
+          sequence_mode = C.Seq_random;
+          mask_guided = false;
+          dynamic_energy = false;
+          distance_feedback = true;
+          prolongation = false;
+          sequence_mutation_prob = 0.15;
+        });
+    supports = [ O.BD; O.UD; O.EF; O.IO; O.RE; O.UE ];
+  }
+
+let confuzzius =
+  {
+    name = "ConFuzzius";
+    configure =
+      (fun c ->
+        {
+          c with
+          sequence_mode = C.Seq_dataflow;
+          mask_guided = false;
+          dynamic_energy = false;
+          distance_feedback = true;
+          prolongation = false;
+          sequence_mutation_prob = 0.15;
+        });
+    supports = [ O.BD; O.UD; O.EF; O.IO; O.RE; O.US; O.UE ];
+  }
+
+let smartian =
+  {
+    name = "Smartian";
+    configure =
+      (fun c ->
+        {
+          c with
+          sequence_mode = C.Seq_dataflow;
+          mask_guided = false;
+          dynamic_energy = false;
+          distance_feedback = false;
+          prolongation = false;
+          sequence_mutation_prob = 0.15;
+        });
+    supports = [ O.BD; O.UD; O.EF; O.IO; O.RE; O.US; O.TO; O.UE ];
+  }
+
+let irfuzz =
+  {
+    name = "IR-Fuzz";
+    configure =
+      (fun c ->
+        {
+          c with
+          sequence_mode = C.Seq_dataflow;
+          mask_guided = false;
+          dynamic_energy = true;
+          distance_feedback = true;
+          prolongation = true;
+          sequence_mutation_prob = 0.15;
+        });
+    supports = [ O.BD; O.UD; O.EF; O.IO; O.RE; O.SE; O.UE ];
+  }
+
+let contractfuzzer =
+  {
+    name = "ContractFuzzer";
+    configure =
+      (fun c ->
+        {
+          c with
+          sequence_mode = C.Seq_random;
+          mask_guided = false;
+          dynamic_energy = false;
+          distance_feedback = false;
+          prolongation = false;
+          sequence_mutation_prob = 0.0;
+          blackbox = true;
+        });
+    supports = [ O.BD; O.UD; O.EF; O.RE; O.UE ];
+  }
+
+let echidna =
+  {
+    name = "Echidna";
+    configure =
+      (fun c ->
+        {
+          c with
+          sequence_mode = C.Seq_random;
+          mask_guided = false;
+          dynamic_energy = false;
+          distance_feedback = false;
+          prolongation = false;
+          sequence_mutation_prob = 0.0;
+        });
+    supports = [ O.UE ];
+  }
+
+let all = [ sfuzz; confuzzius; smartian; irfuzz; mufuzz ]
+
+let extended = all @ [ contractfuzzer; echidna ]
+
+let find name = List.find_opt (fun p -> p.name = name) extended
+
+let run profile ?(config = C.default) contract =
+  let report = Mufuzz.Campaign.run ~config:(profile.configure config) contract in
+  let keep (f : O.finding) = List.mem f.cls profile.supports in
+  {
+    report with
+    Mufuzz.Report.findings = List.filter keep report.findings;
+    witnesses = List.filter (fun (f, _) -> keep f) report.witnesses;
+    witness_seeds = List.filter (fun (f, _) -> keep f) report.witness_seeds;
+  }

@@ -1,0 +1,329 @@
+open Minisol.Ast
+module O = Oracles.Oracle
+
+type verdict = Findings of O.finding list | Timeout | Error of string
+
+type profile = {
+  name : string;
+  supports : O.bug_class list;
+  over_approximate : bool;
+  timeout_instruction_limit : int option;
+  rejects_modern_syntax : bool;
+}
+
+let oyente =
+  {
+    name = "Oyente";
+    supports = [ O.BD; O.IO; O.RE ];
+    over_approximate = true;
+    timeout_instruction_limit = None;
+    rejects_modern_syntax = true;
+  }
+
+let mythril =
+  {
+    name = "Mythril";
+    supports = [ O.BD; O.UD; O.IO; O.RE; O.US; O.SE; O.TO; O.UE ];
+    over_approximate = false;
+    (* calibrated so roughly a third of the labelled suite exceeds it,
+       mirroring Mythril's 72 timeout cases in the paper's Table III *)
+    timeout_instruction_limit = Some 360;
+    rejects_modern_syntax = false;
+  }
+
+let osiris =
+  {
+    name = "Osiris";
+    supports = [ O.BD; O.IO; O.RE ];
+    over_approximate = false;
+    timeout_instruction_limit = None;
+    rejects_modern_syntax = true;
+  }
+
+let securify =
+  {
+    name = "Securify";
+    supports = [ O.RE; O.UE ];
+    over_approximate = true;
+    timeout_instruction_limit = None;
+    rejects_modern_syntax = false;
+  }
+
+let slither =
+  {
+    name = "Slither";
+    supports = [ O.BD; O.UD; O.EF; O.RE; O.US; O.SE; O.TO; O.UE ];
+    over_approximate = false;
+    timeout_instruction_limit = None;
+    rejects_modern_syntax = false;
+  }
+
+let all = [ oyente; mythril; osiris; securify; slither ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+(* ------------------------------------------------------------------ *)
+(* AST pattern rules                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_uses pred e =
+  pred e
+  ||
+  match e with
+  | Number _ | Bool_lit _ | Ident _ | Msg_sender | Msg_value | Tx_origin
+  | Block_timestamp | Block_number | Block_difficulty | Block_coinbase
+  | This_balance ->
+    false
+  | Array_length _ -> false
+  | Index (_, k) | Array_push (_, k) | Unop (_, k) | Balance_of k | Blockhash k ->
+    expr_uses pred k
+  | Binop (_, a, b) | Send (a, b) | Call_value (a, b) | Transfer_call (a, b)
+  | Delegatecall (a, b) ->
+    expr_uses pred a || expr_uses pred b
+  | Keccak es | Internal_call (_, es) -> List.exists (expr_uses pred) es
+
+let uses_block_state =
+  expr_uses (function
+    | Block_timestamp | Block_number | Block_difficulty | Block_coinbase
+    | Blockhash _ ->
+      true
+    | _ -> false)
+
+let uses_origin = expr_uses (function Tx_origin -> true | _ -> false)
+
+let uses_sender = expr_uses (function Msg_sender -> true | _ -> false)
+
+let uses_balance =
+  expr_uses (function This_balance | Balance_of _ -> true | _ -> false)
+
+(* Every statement of a function body, flattened with the branch-nesting
+   depth and whether a msg.sender guard dominates it. *)
+let rec flatten ?(depth = 0) ~guarded stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | If (cond, t, e) ->
+        let guarded' = guarded || uses_sender cond in
+        ((s, depth, guarded) :: flatten ~depth:(depth + 1) ~guarded:guarded' t)
+        @ flatten ~depth:(depth + 1) ~guarded e
+      | While (cond, b) ->
+        let _ = cond in
+        (s, depth, guarded) :: flatten ~depth:(depth + 1) ~guarded b
+      | For (_, _, _, b) ->
+        (s, depth, guarded) :: flatten ~depth:(depth + 1) ~guarded b
+      | _ -> [ (s, depth, guarded) ])
+    stmts
+
+(* does the prefix of the function (up to the first occurrence of [p])
+   establish a msg.sender guard via require? *)
+let require_guard_before stmts pred =
+  let rec go guarded = function
+    | [] -> false
+    | s :: rest ->
+      if pred s then guarded
+      else
+        let guarded =
+          guarded
+          ||
+          match s with
+          | Require cond | Assert cond -> uses_sender cond
+          | _ -> false
+        in
+        go guarded rest
+  in
+  go false (List.map (fun (s, _, g) -> if g then (s, true) else (s, false)) stmts
+            |> List.map fst)
+
+let analyze profile (contract : Minisol.Contract.t) =
+  if profile.rejects_modern_syntax
+     && (let src = contract.Minisol.Contract.source in
+         let needle = "constructor" in
+         let rec contains i =
+           i + String.length needle <= String.length src
+           && (String.sub src i (String.length needle) = needle || contains (i + 1))
+         in
+         contains 0)
+  then Error "unsupported compiler version (constructor keyword)"
+  else
+    match profile.timeout_instruction_limit with
+    | Some limit when Minisol.Contract.instruction_count contract > limit -> Timeout
+    | _ ->
+      let ast = contract.Minisol.Contract.ast in
+      let findings = ref [] in
+      let site = ref 0 in
+      let add cls detail =
+        incr site;
+        if List.mem cls profile.supports then
+          findings := { O.cls; pc = !site; tx_index = -1; detail } :: !findings
+      in
+      let is_state name = find_state_var ast name <> None in
+      let writes_state = function
+        | Assign (L_var n, _) | Aug_assign (L_var n, _, _) -> is_state n
+        | Assign (L_index (n, _), _) | Aug_assign (L_index (n, _), _, _) ->
+          is_state n
+        | _ -> false
+      in
+      List.iter
+        (fun (f : func) ->
+          let has_modifier = f.modifiers <> [] in
+          let flat = flatten ~guarded:false f.body in
+          let stmt_conditions =
+            List.filter_map
+              (fun (s, _, _) ->
+                match s with
+                | If (c, _, _) | While (c, _) | For (_, c, _, _) | Require c
+                | Assert c ->
+                  Some c
+                | _ -> None)
+              flat
+          in
+          (* BD: block state in a decision or in transferred value *)
+          List.iter
+            (fun c ->
+              if uses_block_state c then
+                add O.BD (Printf.sprintf "%s: block state in condition" f.name))
+            stmt_conditions;
+          if profile.over_approximate then
+            (* over-approximation: flag any block-state read at all *)
+            List.iter
+              (fun (s, _, _) ->
+                match s with
+                | Local (_, _, Some e) | Assign (_, e) | Aug_assign (_, _, e)
+                | Expr_stmt e | Return (Some e) ->
+                  if uses_block_state e then
+                    add O.BD (Printf.sprintf "%s: block state read" f.name)
+                | _ -> ())
+              flat;
+          (* TO: tx.origin in a decision *)
+          List.iter
+            (fun c ->
+              if uses_origin c then
+                add O.TO (Printf.sprintf "%s: tx.origin in condition" f.name))
+            stmt_conditions;
+          (* SE: strict equality on a balance *)
+          let rec eq_on_balance e =
+            match e with
+            | Binop ((Eq | Neq), a, b) -> uses_balance a || uses_balance b
+            | Binop (_, a, b) -> eq_on_balance a || eq_on_balance b
+            | Unop (_, a) -> eq_on_balance a
+            | _ -> false
+          in
+          List.iter
+            (fun c ->
+              if eq_on_balance c then
+                add O.SE (Printf.sprintf "%s: strict balance equality" f.name))
+            stmt_conditions;
+          (* IO: unchecked arithmetic on attacker-reachable values *)
+          let param_names = List.map snd f.params in
+          let involves_param =
+            expr_uses (function
+              | Ident n -> List.mem n param_names
+              | Msg_value -> true
+              | _ -> false)
+          in
+          List.iter
+            (fun (s, _, guarded) ->
+              let arith =
+                match s with
+                | Assign (_, Binop ((Add | Sub | Mul), a, b)) ->
+                  Some (Binop (Add, a, b))
+                | Aug_assign (_, (Add | Sub | Mul), e) -> Some e
+                | _ -> None
+              in
+              match arith with
+              | Some e
+                when involves_param e || profile.over_approximate ->
+                if profile.over_approximate || not guarded then
+                  add O.IO (Printf.sprintf "%s: unchecked arithmetic" f.name)
+              | _ -> ())
+            flat;
+          (* RE: gas-forwarding call followed by a state write *)
+          let saw_call = ref false in
+          List.iter
+            (fun (s, _, _) ->
+              let is_cv =
+                match s with
+                | Expr_stmt (Call_value _) | Assign (_, Call_value _)
+                | Local (_, _, Some (Call_value _)) ->
+                  true
+                | Require (Call_value _) | If (Call_value _, _, _) -> true
+                | _ -> false
+              in
+              if is_cv then begin
+                saw_call := true;
+                if profile.over_approximate then
+                  add O.RE (Printf.sprintf "%s: external call with gas" f.name)
+              end
+              else if !saw_call && writes_state s && not profile.over_approximate
+              then
+                add O.RE (Printf.sprintf "%s: state write after external call" f.name))
+            flat;
+          (* UD: delegatecall with attacker-controlled target *)
+          List.iter
+            (fun (s, _, _) ->
+              let dc =
+                match s with
+                | Expr_stmt (Delegatecall (t, _))
+                | Assign (_, Delegatecall (t, _))
+                | Local (_, _, Some (Delegatecall (t, _))) ->
+                  Some t
+                | _ -> None
+              in
+              match dc with
+              | Some target ->
+                let from_param =
+                  expr_uses
+                    (function Ident n -> List.mem n param_names | _ -> false)
+                    target
+                in
+                if profile.over_approximate || (from_param && not has_modifier)
+                then add O.UD (Printf.sprintf "%s: delegatecall" f.name)
+              | None -> ())
+            flat;
+          (* US: selfdestruct without sender guard *)
+          List.iter
+            (fun (s, _, guarded) ->
+              match s with
+              | Selfdestruct _ ->
+                let req_guard =
+                  require_guard_before flat (fun s' -> s' == s)
+                in
+                if profile.over_approximate
+                   || not (guarded || has_modifier || req_guard)
+                then add O.US (Printf.sprintf "%s: unprotected selfdestruct" f.name)
+              | _ -> ())
+            flat;
+          (* UE: dropped result of send / raw call *)
+          List.iter
+            (fun (s, _, _) ->
+              match s with
+              | Expr_stmt (Send _) | Expr_stmt (Call_value _) ->
+                add O.UE (Printf.sprintf "%s: unchecked send/call result" f.name)
+              | _ -> ())
+            flat)
+        ast.functions;
+      (* EF: can receive, cannot send *)
+      let any_payable =
+        List.exists (fun (f : Abi.func) -> f.payable && not f.is_constructor)
+          contract.Minisol.Contract.abi
+      in
+      let can_send =
+        List.exists
+          (fun (f : func) ->
+            let flat = flatten ~guarded:false f.body in
+            List.exists
+              (fun (s, _, _) ->
+                match s with
+                | Selfdestruct _ -> true
+                | Expr_stmt (Send _ | Call_value _ | Transfer_call _)
+                | Assign (_, (Send _ | Call_value _))
+                | Local (_, _, Some (Send _ | Call_value _))
+                | Require (Send _ | Call_value _)
+                | If ((Send _ | Call_value _), _, _) ->
+                  true
+                | _ -> false)
+              flat)
+          ast.functions
+      in
+      if any_payable && not can_send then add O.EF "accepts ether, cannot send";
+      Findings (List.rev !findings)

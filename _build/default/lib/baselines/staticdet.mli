@@ -1,0 +1,38 @@
+(** Static analyzers (Oyente, Mythril, Osiris, Securify, Slither)
+    reimplemented as AST/bytecode pattern detectors with per-tool
+    capability profiles.
+
+    Each tool is a set of syntactic/dataflow rules plus precision knobs
+    taken from the paper's discussion: over-approximating tools flag a
+    pattern wherever it occurs (producing false positives on guarded
+    code), precise tools discount guarded occurrences (producing false
+    negatives on dynamic-only bugs); Mythril times out on large
+    contracts; Oyente and Osiris error on post-0.4.19 syntax (the
+    [constructor] keyword). *)
+
+type verdict =
+  | Findings of Oracles.Oracle.finding list
+  | Timeout
+  | Error of string
+
+type profile = {
+  name : string;
+  supports : Oracles.Oracle.bug_class list;  (** Table I row *)
+  over_approximate : bool;
+      (** flag patterns even when a guard protects them *)
+  timeout_instruction_limit : int option;
+      (** analyses abort on programs larger than this *)
+  rejects_modern_syntax : bool;
+      (** errors out on sources using the [constructor] keyword *)
+}
+
+val oyente : profile
+val mythril : profile
+val osiris : profile
+val securify : profile
+val slither : profile
+
+val all : profile list
+val find : string -> profile option
+
+val analyze : profile -> Minisol.Contract.t -> verdict

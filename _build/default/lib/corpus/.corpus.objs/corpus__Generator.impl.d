@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Buffer List Minisol Oracles Printf Stdlib String Util

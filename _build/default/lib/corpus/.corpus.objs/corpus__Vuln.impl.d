@@ -1,0 +1,1 @@
+lib/corpus/vuln.ml: Filename List Minisol Oracles Printf String Unix

@@ -1,0 +1,1 @@
+lib/corpus/vuln.mli: Minisol Oracles

@@ -1,0 +1,407 @@
+(* Paper figures and classic bug-pattern contracts, in Minisol. *)
+
+let crowdsale =
+  {|
+contract Crowdsale {
+  uint256 phase = 0;
+  uint256 goal;
+  uint256 invested;
+  address owner;
+  mapping(address => uint256) invests;
+
+  constructor() public {
+    goal = 100 ether;
+    invested = 0;
+    owner = msg.sender;
+  }
+
+  function invest(uint256 donations) public payable {
+    if (invested < goal) {
+      invested += donations;
+      invests[msg.sender] += donations;
+      phase = 0;
+    } else {
+      phase = 1;
+    }
+  }
+
+  function refund() public {
+    if (phase == 0) {
+      msg.sender.transfer(invests[msg.sender]);
+      invests[msg.sender] = 0;
+    }
+  }
+
+  function withdraw() public {
+    if (phase == 1) {
+      owner.transfer(invested);
+    }
+  }
+}
+|}
+
+let guess_number =
+  {|
+contract Game {
+  mapping(address => uint256) balance;
+
+  function guessNum(uint256 number) public payable {
+    uint256 random = uint256(keccak256(block.timestamp, now)) % 200;
+    require(msg.value == 88 finney);
+    if (number < random) {
+      uint256 luckyNum = number % 2;
+      if (luckyNum == 0) {
+        balance[msg.sender] += msg.value * 10;
+      } else {
+        balance[msg.sender] += msg.value * 5;
+      }
+    }
+  }
+}
+|}
+
+let simple_dao =
+  {|
+contract SimpleDAO {
+  mapping(address => uint256) credit;
+
+  function donate(address to) public payable {
+    credit[to] += msg.value;
+  }
+
+  function withdraw(uint256 amount) public {
+    if (credit[msg.sender] >= amount) {
+      bool ok = msg.sender.call.value(amount)();
+      credit[msg.sender] -= amount;
+    }
+  }
+
+  function queryCredit(address to) public returns (uint256) {
+    return credit[to];
+  }
+}
+|}
+
+let timed_vault =
+  {|
+contract TimedVault {
+  address owner;
+  uint256 unlockAt;
+  uint256 bonusWindow;
+
+  constructor() public {
+    owner = msg.sender;
+    unlockAt = block.timestamp + 7 days;
+    bonusWindow = 0;
+  }
+
+  function deposit() public payable {
+    if (block.timestamp % 2 == 0) {
+      bonusWindow = bonusWindow + 1;
+    }
+  }
+
+  function release() public {
+    require(block.timestamp >= unlockAt);
+    owner.transfer(this.balance);
+  }
+}
+|}
+
+let proxy_wallet =
+  {|
+contract ProxyWallet {
+  address owner;
+  uint256 nonce;
+
+  constructor() public {
+    owner = msg.sender;
+    nonce = 0;
+  }
+
+  function forward(address callee, uint256 data) public {
+    nonce += 1;
+    bool ok = callee.delegatecall(data);
+  }
+}
+|}
+
+let piggy_bank =
+  {|
+contract PiggyBank {
+  mapping(address => uint256) savings;
+  uint256 total;
+
+  function save() public payable {
+    savings[msg.sender] += msg.value;
+    total += msg.value;
+  }
+
+  function myBalance() public returns (uint256) {
+    return savings[msg.sender];
+  }
+}
+|}
+
+let suicidal =
+  {|
+contract Suicidal {
+  uint256 counter;
+
+  function tick() public payable {
+    counter += 1;
+  }
+
+  function destroy(address heir) public {
+    selfdestruct(heir);
+  }
+}
+|}
+
+let origin_auth =
+  {|
+contract OriginAuth {
+  address owner;
+  uint256 funds;
+
+  constructor() public {
+    owner = msg.sender;
+    funds = 0;
+  }
+
+  function deposit() public payable {
+    funds += msg.value;
+  }
+
+  function sweep() public {
+    require(tx.origin == owner);
+    msg.sender.transfer(this.balance);
+  }
+}
+|}
+
+let lottery =
+  {|
+contract Lottery {
+  address lastWinner;
+  uint256 round;
+
+  function play() public payable {
+    require(msg.value == 1 ether);
+    if (this.balance == 10 ether) {
+      lastWinner = msg.sender;
+      round += 1;
+      bool sent = msg.sender.send(10 ether);
+    }
+  }
+}
+|}
+
+let token_overflow =
+  {|
+contract Token {
+  mapping(address => uint256) balances;
+  uint256 totalSupply;
+  address owner;
+
+  constructor() public {
+    owner = msg.sender;
+    totalSupply = 1000000;
+    balances[msg.sender] = 1000000;
+  }
+
+  function transfer(address to, uint256 value) public {
+    balances[msg.sender] -= value;
+    balances[to] += value;
+  }
+
+  function batchMint(address to, uint256 count, uint256 each) public {
+    require(msg.sender == owner);
+    uint256 amount = count * each;
+    totalSupply += amount;
+    balances[to] += amount;
+  }
+}
+|}
+
+let auction =
+  {|
+contract Auction {
+  address highestBidder;
+  uint256 highestBid;
+  address beneficiary;
+  uint256 closeAt;
+  uint256 closed;
+  mapping(address => uint256) pendingReturns;
+
+  constructor() public {
+    beneficiary = msg.sender;
+    closeAt = block.timestamp + 3 days;
+    closed = 0;
+  }
+
+  function bid() public payable {
+    require(block.timestamp < closeAt);
+    require(msg.value > highestBid);
+    if (highestBid != 0) {
+      pendingReturns[highestBidder] += highestBid;
+    }
+    highestBidder = msg.sender;
+    highestBid = msg.value;
+  }
+
+  function withdrawRefund() public {
+    uint256 amount = pendingReturns[msg.sender];
+    if (amount > 0) {
+      pendingReturns[msg.sender] = 0;
+      msg.sender.transfer(amount);
+    }
+  }
+
+  function close() public {
+    require(block.timestamp >= closeAt);
+    require(closed == 0);
+    closed = 1;
+    beneficiary.transfer(highestBid);
+  }
+}
+|}
+
+let vesting =
+  {|
+contract Vesting {
+  address owner;
+  address payee;
+  uint256 start;
+  uint256 duration;
+  uint256 released;
+  uint256 total;
+
+  constructor() public {
+    owner = msg.sender;
+    start = block.timestamp;
+    duration = 100 days;
+    released = 0;
+  }
+
+  function fund(address who) public payable {
+    require(msg.sender == owner);
+    payee = who;
+    total += msg.value;
+  }
+
+  function release() public {
+    require(block.timestamp >= start);
+    uint256 elapsed = block.timestamp - start;
+    uint256 vested = total * elapsed / duration;
+    if (vested > total) {
+      vested = total;
+    }
+    require(vested > released);
+    uint256 amount = vested - released;
+    released += amount;
+    payee.transfer(amount);
+  }
+}
+|}
+
+let casino =
+  {|
+contract Casino {
+  mapping(address => uint256) chips;
+  uint256 houseEdge;
+  address house;
+
+  constructor() public {
+    house = msg.sender;
+    houseEdge = 2;
+  }
+
+  function buyChips() public payable {
+    require(msg.value >= 1 finney);
+    chips[msg.sender] += msg.value / 1 finney;
+  }
+
+  function spin(uint256 wager) public {
+    require(chips[msg.sender] >= wager);
+    chips[msg.sender] -= wager;
+    uint256 roll = uint256(keccak256(block.timestamp, block.number)) % 100;
+    if (roll < 48) {
+      chips[msg.sender] += wager * 2;
+    }
+  }
+
+  function cashOut(uint256 amount) public {
+    require(chips[msg.sender] >= amount);
+    chips[msg.sender] -= amount;
+    bool ok = msg.sender.send(amount * 1 finney);
+  }
+}
+|}
+
+let wallet =
+  {|
+contract SharedWallet {
+  address ownerA;
+  address ownerB;
+  uint256 approvalsA;
+  uint256 approvalsB;
+  uint256 pendingAmount;
+  address pendingTo;
+
+  constructor() public {
+    ownerA = msg.sender;
+    approvalsA = 0;
+    approvalsB = 0;
+  }
+
+  function enroll(address b) public {
+    require(msg.sender == ownerA);
+    require(ownerB == address(0));
+    ownerB = b;
+  }
+
+  function deposit() public payable {
+  }
+
+  function propose(address to, uint256 amount) public {
+    require(msg.sender == ownerA || msg.sender == ownerB);
+    pendingTo = to;
+    pendingAmount = amount;
+    approvalsA = 0;
+    approvalsB = 0;
+  }
+
+  function approve() public {
+    if (msg.sender == ownerA) {
+      approvalsA = 1;
+    }
+    if (msg.sender == ownerB) {
+      approvalsB = 1;
+    }
+    if (approvalsA == 1 && approvalsB == 1) {
+      approvalsA = 0;
+      approvalsB = 0;
+      pendingTo.transfer(pendingAmount);
+    }
+  }
+}
+|}
+
+let all =
+  [
+    ("Crowdsale", crowdsale);
+    ("Game", guess_number);
+    ("SimpleDAO", simple_dao);
+    ("TimedVault", timed_vault);
+    ("ProxyWallet", proxy_wallet);
+    ("PiggyBank", piggy_bank);
+    ("Suicidal", suicidal);
+    ("OriginAuth", origin_auth);
+    ("Lottery", lottery);
+    ("Token", token_overflow);
+    ("Auction", auction);
+    ("Vesting", vesting);
+    ("Casino", casino);
+    ("SharedWallet", wallet);
+  ]

@@ -1,0 +1,59 @@
+(** The paper's example contracts, verbatim in Minisol.
+
+    [crowdsale] is Fig. 1 (the motivating example whose bug needs the
+    sequence [invest -> refund -> invest -> withdraw]); [guess_number]
+    is Fig. 4 (the 88-finney strict-equality game with the nested
+    overflow). The rest are classic single-bug teaching contracts used
+    throughout the smart-contract-fuzzing literature. *)
+
+val crowdsale : string
+(** Fig. 1. The withdraw branch guarded by [phase == 1] hides an
+    over-transfer bug: it sends the recorded [invested] total, which the
+    refund path no longer backs 1:1 with real balance. *)
+
+val guess_number : string
+(** Fig. 4: [msg.value == 88 finney] gate, nested branch, and an
+    attacker-influenceable multiplication overflow. *)
+
+val simple_dao : string
+(** The classic DAO-style reentrancy. *)
+
+val timed_vault : string
+(** Block-timestamp-gated payout (BD). *)
+
+val proxy_wallet : string
+(** Unprotected delegatecall forwarder (UD). *)
+
+val piggy_bank : string
+(** Accepts deposits, only the constructor-less owner pattern and no
+    send path: ether freezing (EF). *)
+
+val suicidal : string
+(** Unprotected selfdestruct (US). *)
+
+val origin_auth : string
+(** tx.origin authorization (TO). *)
+
+val lottery : string
+(** Strict balance equality + unchecked send (SE + UE). *)
+
+val token_overflow : string
+(** ERC20-style token with an unchecked transfer arithmetic (IO). *)
+
+val auction : string
+(** Open auction with refunds, a time-gated close and a two-phase state
+    machine — coverage requires ordered bid/close/withdraw sequences. *)
+
+val vesting : string
+(** Linear vesting wallet: time arithmetic and owner-gated funding. *)
+
+val casino : string
+(** Chip-based casino: block-hash randomness (BD), an unchecked cash-out
+    send (UE) and wager arithmetic. *)
+
+val wallet : string
+(** Two-owner wallet whose payout needs both approvals — a deep
+    multi-transaction, multi-sender state machine. *)
+
+val all : (string * string) list
+(** [(name, source)] for every example above. *)

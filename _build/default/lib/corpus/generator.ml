@@ -1,0 +1,315 @@
+module R = Util.Rng
+module O = Oracles.Oracle
+
+type size = Small | Large
+
+type spec = {
+  name : string;
+  source : string;
+  injected : O.bug_class list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* A tiny well-typed program synthesiser. State variables are uint256   *)
+(* ([sv0..svK]), one address [owner], one phase counter [phase], plus   *)
+(* up to two mappings ([m0], [m1]). Expressions are built so that every *)
+(* generated contract type-checks by construction.                      *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  rng : R.t;
+  n_sv : int;
+  n_map : int;
+  n_arr : int;
+  n_phase : int;  (* number of phase-machine stages *)
+  n_counters : int;  (* repetition counters (the invest-twice shape) *)
+  stmts_per_block : int;
+  buf : Buffer.t;
+  mutable injected : O.bug_class list;
+}
+
+let sv ctx = Printf.sprintf "sv%d" (R.int ctx.rng ctx.n_sv)
+
+let mapping ctx = Printf.sprintf "m%d" (R.int ctx.rng (Stdlib.max 1 ctx.n_map))
+
+let magic ctx =
+  (* strict constants worth guarding with; occasionally ether-scaled *)
+  match R.int ctx.rng 4 with
+  | 0 -> string_of_int (R.int ctx.rng 100)
+  | 1 -> string_of_int (100 + R.int ctx.rng 10000)
+  | 2 -> Printf.sprintf "%d finney" (1 + R.int ctx.rng 200)
+  | _ -> Printf.sprintf "%d ether" (1 + R.int ctx.rng 50)
+
+(* an arithmetic uint expression over state, params and context *)
+let rec uint_expr ctx ~params depth =
+  let atom () =
+    match R.int ctx.rng 6 with
+    | 0 -> sv ctx
+    | 1 when params <> [] -> R.choose_list ctx.rng params
+    | 2 -> string_of_int (R.int ctx.rng 1000)
+    | 3 when ctx.n_map > 0 -> Printf.sprintf "%s[msg.sender]" (mapping ctx)
+    | 4 -> "msg.value"
+    | _ -> sv ctx
+  in
+  if depth <= 0 then atom ()
+  else
+    match R.int ctx.rng 4 with
+    | 0 ->
+      Printf.sprintf "(%s + %s)" (uint_expr ctx ~params (depth - 1)) (atom ())
+    | 1 ->
+      Printf.sprintf "(%s %% %d)" (uint_expr ctx ~params (depth - 1))
+        (2 + R.int ctx.rng 100)
+    | _ -> atom ()
+
+let cond_expr ctx ~params =
+  let lhs = uint_expr ctx ~params 1 in
+  let rhs =
+    match R.int ctx.rng 3 with
+    | 0 -> magic ctx
+    | 1 -> sv ctx
+    | _ when params <> [] -> R.choose_list ctx.rng params
+    | _ -> string_of_int (R.int ctx.rng 500)
+  in
+  let op = R.choose ctx.rng [| "<"; ">"; "<="; ">="; "=="; "!=" |] in
+  Printf.sprintf "%s %s %s" lhs op rhs
+
+let emit ctx indent line =
+  Buffer.add_string ctx.buf (String.make indent ' ');
+  Buffer.add_string ctx.buf line;
+  Buffer.add_char ctx.buf '\n'
+
+(* one statement; returns approximate statement count generated *)
+let rec gen_stmt ctx ~params ~payable ~indent ~depth =
+  match R.int ctx.rng 10 with
+  | 0 | 1 ->
+    (* RAW accumulation: the pattern the repetition rule keys on *)
+    emit ctx indent
+      (Printf.sprintf "%s += %s;" (sv ctx) (uint_expr ctx ~params 1));
+    1
+  | 2 ->
+    emit ctx indent
+      (Printf.sprintf "%s = %s;" (sv ctx) (uint_expr ctx ~params 1));
+    1
+  | 3 when ctx.n_map > 0 ->
+    emit ctx indent
+      (Printf.sprintf "%s[msg.sender] += %s;" (mapping ctx)
+         (uint_expr ctx ~params 1));
+    1
+  | 4 when depth > 0 ->
+    emit ctx indent (Printf.sprintf "if (%s) {" (cond_expr ctx ~params));
+    let inner = gen_block ctx ~params ~payable ~indent:(indent + 2) ~depth:(depth - 1) in
+    let extra =
+      if R.bool ctx.rng then begin
+        emit ctx indent "} else {";
+        gen_block ctx ~params ~payable ~indent:(indent + 2) ~depth:(depth - 1)
+      end
+      else 0
+    in
+    emit ctx indent "}";
+    1 + inner + extra
+  | 5 ->
+    emit ctx indent (Printf.sprintf "require(%s);" (cond_expr ctx ~params));
+    1
+  | 6 when params <> [] ->
+    (* bounded loop over a parameter *)
+    let p = R.choose_list ctx.rng params in
+    emit ctx indent
+      (Printf.sprintf "for (uint256 it%d = 0; it%d < %s %% %d; it%d += 1) {"
+         indent indent p (2 + R.int ctx.rng 6) indent);
+    emit ctx (indent + 2) (Printf.sprintf "%s += 1;" (sv ctx));
+    emit ctx indent "}";
+    2
+  | 7 when payable ->
+    emit ctx indent (Printf.sprintf "%s += msg.value;" (sv ctx));
+    1
+  | 9 when ctx.n_arr > 0 ->
+    let a = Printf.sprintf "arr%d" (R.int ctx.rng ctx.n_arr) in
+    if R.bool ctx.rng then begin
+      emit ctx indent (Printf.sprintf "%s.push(%s);" a (uint_expr ctx ~params 1));
+      1
+    end
+    else begin
+      (* growth-gated branch: the body only opens after enough pushes *)
+      emit ctx indent
+        (Printf.sprintf "if (%s.length > %d) {" a (1 + R.int ctx.rng 3));
+      emit ctx (indent + 2)
+        (Printf.sprintf "%s += %s[%s.length - 1];" (sv ctx) a a);
+      emit ctx indent "}";
+      2
+    end
+  | 8 ->
+    (* guarded payout keeps the contract able to send value *)
+    emit ctx indent
+      (Printf.sprintf "if (%s == %s) {" (sv ctx) (magic ctx));
+    emit ctx (indent + 2)
+      (Printf.sprintf "msg.sender.transfer(%d);" (1 + R.int ctx.rng 1000));
+    emit ctx indent "}";
+    2
+  | _ ->
+    emit ctx indent
+      (Printf.sprintf "%s = %s + %d;" (sv ctx) (sv ctx) (R.int ctx.rng 10));
+    1
+
+and gen_block ctx ~params ~payable ~indent ~depth =
+  let n = 1 + R.int ctx.rng ctx.stmts_per_block in
+  let count = ref 0 in
+  for _ = 1 to n do
+    count := !count + gen_stmt ctx ~params ~payable ~indent ~depth
+  done;
+  !count
+
+(* injected bug patterns, one statement each *)
+let inject ctx ~params ~indent cls =
+  ctx.injected <- cls :: ctx.injected;
+  match cls with
+  | O.BD ->
+    emit ctx indent
+      (Printf.sprintf "if (block.timestamp %% %d == %d) {" (5 + R.int ctx.rng 5)
+         (R.int ctx.rng 3));
+    emit ctx (indent + 2) (Printf.sprintf "msg.sender.transfer(%s);" (sv ctx));
+    emit ctx indent "}"
+  | O.IO ->
+    let operand =
+      match params with p :: _ -> p | [] -> sv ctx
+    in
+    emit ctx indent (Printf.sprintf "%s -= %s;" (sv ctx) operand)
+  | _ -> ()
+
+let gen_function ctx ~fname ~phase_stage =
+  let n_params = R.int ctx.rng 3 in
+  let params = List.init n_params (fun i -> Printf.sprintf "p%d" i) in
+  let payable = R.int ctx.rng 3 = 0 in
+  let sig_params =
+    String.concat ", " (List.map (fun p -> "uint256 " ^ p) params)
+  in
+  emit ctx 2
+    (Printf.sprintf "function %s(%s) public%s {" fname sig_params
+       (if payable then " payable" else ""));
+  (* phase machine: stage k requires phase == k and advances it *)
+  (match phase_stage with
+  | Some k ->
+    emit ctx 4 (Printf.sprintf "require(phase == %d);" k);
+    emit ctx 4 (Printf.sprintf "phase = %d;" (k + 1))
+  | None ->
+    (* cross-function state guards: either an accumulator threshold, or a
+       repetition counter that must have been stepped K times — the
+       paper's invest-twice shape that only sequence repetition opens *)
+    (match R.int ctx.rng 10 with
+    | 0 | 1 ->
+      emit ctx 4
+        (Printf.sprintf "require(%s >= %d);" (sv ctx) (1 + R.int ctx.rng 3))
+    | 2 | 3 | 4 when ctx.n_counters > 0 ->
+      emit ctx 4
+        (Printf.sprintf "require(ctr%d >= %d);" (R.int ctx.rng ctx.n_counters)
+           (2 + R.int ctx.rng 2))
+    | _ -> ()));
+  let depth =
+    if ctx.stmts_per_block > 3 then 3 + R.int ctx.rng 2 else 2 + R.int ctx.rng 2
+  in
+  ignore (gen_block ctx ~params ~payable ~indent:4 ~depth);
+  emit ctx 2 "}"
+
+let generate rng size ~name ~bug_rate =
+  let ctx =
+    {
+      rng;
+      n_sv = (match size with Small -> 3 + R.int rng 3 | Large -> 6 + R.int rng 5);
+      n_map = R.int rng 3;
+      n_arr = R.int rng 2;
+      n_phase = (match size with Small -> 2 | Large -> 4 + R.int rng 4);
+      n_counters = (match size with Small -> 1 | Large -> 2 + R.int rng 2);
+      stmts_per_block = (match size with Small -> 3 | Large -> 5);
+      buf = Buffer.create 4096;
+      injected = [];
+    }
+  in
+  emit ctx 0 (Printf.sprintf "contract %s {" name);
+  for i = 0 to ctx.n_sv - 1 do
+    emit ctx 2 (Printf.sprintf "uint256 sv%d;" i)
+  done;
+  for i = 0 to ctx.n_map - 1 do
+    emit ctx 2 (Printf.sprintf "mapping(address => uint256) m%d;" i)
+  done;
+  for i = 0 to ctx.n_arr - 1 do
+    emit ctx 2 (Printf.sprintf "uint256[] arr%d;" i)
+  done;
+  emit ctx 2 "address owner;";
+  emit ctx 2 "uint256 phase;";
+  for c = 0 to ctx.n_counters - 1 do
+    emit ctx 2 (Printf.sprintf "uint256 ctr%d;" c)
+  done;
+  emit ctx 2 "constructor() public {";
+  emit ctx 4 "owner = msg.sender;";
+  emit ctx 4 "phase = 0;";
+  for i = 0 to Stdlib.min 2 (ctx.n_sv - 1) do
+    emit ctx 4 (Printf.sprintf "sv%d = %d;" i (R.int rng 1000))
+  done;
+  emit ctx 2 "}";
+  (* repetition counters: step functions that must run K times before the
+     guarded branches elsewhere open; their RAW + branch-read signature is
+     what the derivation's repeat rule keys on *)
+  for c = 0 to ctx.n_counters - 1 do
+    emit ctx 2 (Printf.sprintf "function step%d() public {" c);
+    emit ctx 4 (Printf.sprintf "if (ctr%d < %d) {" c (10 + R.int rng 10));
+    emit ctx 6 (Printf.sprintf "ctr%d += 1;" c);
+    emit ctx 4 "}";
+    emit ctx 2 "}"
+  done;
+  let n_funcs =
+    match size with Small -> 3 + R.int rng 3 | Large -> 26 + R.int rng 10
+  in
+  (* dedicate the first n_phase functions to the phase machine so deep
+     states require ordered sequences *)
+  for i = 0 to n_funcs - 1 do
+    let phase_stage = if i < ctx.n_phase then Some i else None in
+    gen_function ctx ~fname:(Printf.sprintf "f%d" i) ~phase_stage;
+    (* possibly inject a bug pattern after this function *)
+    if R.float rng < bug_rate then begin
+      let cls = R.choose rng [| O.BD; O.IO; O.SE; O.TO; O.UE; O.US |] in
+      match cls with
+      | O.BD ->
+        emit ctx 2 (Printf.sprintf "function lucky%d() public {" i);
+        inject ctx ~params:[] ~indent:4 O.BD;
+        emit ctx 2 "}"
+      | O.IO ->
+        emit ctx 2 (Printf.sprintf "function burn%d(uint256 q) public {" i);
+        inject ctx ~params:[ "q" ] ~indent:4 O.IO;
+        emit ctx 2 "}"
+      | O.SE ->
+        ctx.injected <- O.SE :: ctx.injected;
+        emit ctx 2 (Printf.sprintf "function bonus%d() public payable {" i);
+        emit ctx 4
+          (Printf.sprintf "if (this.balance == %d finney) {" (10 + R.int rng 100));
+        emit ctx 6 (Printf.sprintf "%s += 1;" (sv ctx));
+        emit ctx 4 "}";
+        emit ctx 2 "}"
+      | O.TO ->
+        ctx.injected <- O.TO :: ctx.injected;
+        emit ctx 2 (Printf.sprintf "function admin%d() public {" i);
+        emit ctx 4 "require(tx.origin == owner);";
+        emit ctx 4 (Printf.sprintf "%s = 0;" (sv ctx));
+        emit ctx 2 "}";
+      | O.UE ->
+        ctx.injected <- O.UE :: ctx.injected;
+        emit ctx 2 (Printf.sprintf "function pay%d() public {" i);
+        emit ctx 4 (Printf.sprintf "bool ok = msg.sender.send(%d ether);" (1 + R.int rng 5));
+        emit ctx 2 "}"
+      | O.US ->
+        ctx.injected <- O.US :: ctx.injected;
+        emit ctx 2 (Printf.sprintf "function kill%d() public {" i);
+        emit ctx 4 "selfdestruct(msg.sender);";
+        emit ctx 2 "}"
+      | _ -> ()
+    end
+  done;
+  emit ctx 0 "}";
+  { name; source = Buffer.contents ctx.buf; injected = List.rev ctx.injected }
+
+let population ~seed ~n size ~bug_rate =
+  let rng = R.create seed in
+  List.init n (fun i ->
+      let child = R.split rng in
+      let prefix = match size with Small -> "Small" | Large -> "Large" in
+      generate child size ~name:(Printf.sprintf "%s_%d" prefix i) ~bug_rate)
+
+let compile spec = Minisol.Contract.compile spec.source

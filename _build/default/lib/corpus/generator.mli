@@ -1,0 +1,33 @@
+(** Parametric contract-population generator standing in for the paper's
+    D1 (21,147 real contracts, split small/large at 3,632 encoded
+    instructions) and D3 (500 popular high-traffic contracts).
+
+    Generated contracts are deterministic functions of the seed and are
+    built to exhibit the structural properties the paper says drive the
+    coverage results: inter-function write→read state dependencies (so
+    transaction ordering matters), read-after-write accumulators guarding
+    branches (so the §IV-A repetition rule matters), strict numeric
+    equality gates (so dictionary/mask mutation matters), nested
+    conditionals (so energy weighting matters) and phase-machine
+    [require]s (so sequences matter at all). A fraction of contracts
+    carries injected bug patterns so bug-finding can be measured on the
+    population too. *)
+
+type size = Small | Large
+
+type spec = {
+  name : string;
+  source : string;
+  injected : Oracles.Oracle.bug_class list;
+      (** bug patterns injected into this contract (possibly none) *)
+}
+
+val generate : Util.Rng.t -> size -> name:string -> bug_rate:float -> spec
+(** One contract. [bug_rate] is the probability of injecting each bug
+    pattern drawn for this contract. *)
+
+val population :
+  seed:int64 -> n:int -> size -> bug_rate:float -> spec list
+(** [n] deterministic contracts named ["<Size>_<i>"]. *)
+
+val compile : spec -> Minisol.Contract.t

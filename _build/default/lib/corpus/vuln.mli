@@ -1,0 +1,39 @@
+(** The labelled vulnerability benchmark standing in for the paper's D2
+    (155 contracts / 217 annotated bugs collected from SmartBugs,
+    VeriSmart, TMP and the SWC registry).
+
+    Each bug class has a parametric template; variants systematically
+    vary the guarding structure (none / require chain / state-machine
+    gate reachable only by a prior transaction), the branch nesting
+    depth, the operand sources and the decoy functions around the bug —
+    the dimensions the paper says separate the tools. The per-class
+    label counts match Table III's positives: BD 20, UD 17, EF 22,
+    IO 65, RE 16, US 23, SE 19, TO 2, UE 31 (215 labels overall). A
+    handful of deliberately safe contracts is included for false-positive
+    measurement. *)
+
+type labelled = {
+  name : string;
+  source : string;
+  labels : Oracles.Oracle.bug_class list;
+      (** ground truth; empty for the safe controls *)
+}
+
+val suite : labelled list
+(** The full benchmark, safe controls included. *)
+
+val positives : labelled list
+(** Only contracts with at least one label. *)
+
+val by_class : Oracles.Oracle.bug_class -> labelled list
+
+val label_count : Oracles.Oracle.bug_class -> int
+(** Number of labelled instances of the class across the suite. *)
+
+val compile : labelled -> Minisol.Contract.t
+(** @raise on parse/type errors — the suite is expected to always
+    compile; tests enforce it. *)
+
+val write_to_dir : string -> unit
+(** Dump the suite as [.sol] files plus a [LABELS.txt] ground-truth index
+    into the given directory (created if missing). *)

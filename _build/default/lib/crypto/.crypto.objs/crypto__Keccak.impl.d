@@ -1,0 +1,1 @@
+lib/crypto/keccak.ml: Array Bytes Char Int64 String Util Word

@@ -1,0 +1,20 @@
+(** Keccak-256 — the hash used by Ethereum for function selectors, mapping
+    storage slots and the [SHA3] opcode.
+
+    This is original Keccak (pad [0x01]), not NIST SHA-3 (pad [0x06]);
+    Ethereum predates the FIPS 202 padding change. The implementation is
+    a from-scratch Keccak-f[1600] permutation over 25 [int64] lanes. *)
+
+val hash : string -> string
+(** [hash msg] is the 32-byte Keccak-256 digest of [msg]. *)
+
+val hash_hex : string -> string
+(** [hash_hex msg] is the digest rendered as 64 lowercase hex characters. *)
+
+val hash_word : string -> Word.U256.t
+(** [hash_word msg] is the digest interpreted as a big-endian 256-bit
+    word, as the EVM pushes it on the stack. *)
+
+val selector : string -> string
+(** [selector signature] is the 4-byte Ethereum function selector, i.e.
+    the first four bytes of [hash signature]. *)

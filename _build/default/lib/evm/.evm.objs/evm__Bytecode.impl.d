@@ -1,0 +1,1 @@
+lib/evm/bytecode.ml: Array Format Hashtbl List Opcode Stdlib Word

@@ -1,0 +1,1 @@
+lib/evm/bytecode.mli: Format Hashtbl Opcode Word

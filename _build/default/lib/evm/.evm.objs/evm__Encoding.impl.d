@@ -1,0 +1,1 @@
+lib/evm/encoding.ml: Array Buffer Bytecode Char List Opcode Printf Stdlib String Util Word

@@ -1,0 +1,1 @@
+lib/evm/encoding.mli: Bytecode Opcode

@@ -1,0 +1,1 @@
+lib/evm/interp.ml: Array Bytecode Bytes Char Crypto Hashtbl List Opcode State Stdlib String Trace Word

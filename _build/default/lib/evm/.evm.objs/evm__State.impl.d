@@ -1,0 +1,1 @@
+lib/evm/state.ml: Bytecode Map Word

@@ -1,0 +1,1 @@
+lib/evm/state.mli: Bytecode Map Word

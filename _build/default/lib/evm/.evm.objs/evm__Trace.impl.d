@@ -1,0 +1,1 @@
+lib/evm/trace.ml: Format List String Word

@@ -1,0 +1,1 @@
+lib/evm/trace.mli: Format Word

@@ -1,0 +1,43 @@
+type t = Opcode.t array
+
+let length = Array.length
+
+let push_width v =
+  let bits = Word.U256.bit_length v in
+  Stdlib.max 1 ((bits + 7) / 8)
+
+let byte_size code =
+  Array.fold_left
+    (fun acc op ->
+      match op with Opcode.PUSH v -> acc + 1 + push_width v | _ -> acc + 1)
+    0 code
+
+let jumpdests code =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri (fun i op -> if op = Opcode.JUMPDEST then Hashtbl.replace tbl i ()) code;
+  tbl
+
+let pp fmt code =
+  Array.iteri
+    (fun i op -> Format.fprintf fmt "%4d  %s@." i (Opcode.to_string op))
+    code
+
+let to_listing code = Format.asprintf "%a" pp code
+
+let push_constants code =
+  let dests = jumpdests code in
+  let is_jump_target v =
+    match Word.U256.to_int_opt v with
+    | Some i -> Hashtbl.mem dests i
+    | None -> false
+  in
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Opcode.PUSH v when not (is_jump_target v) ->
+        if not (Hashtbl.mem tbl v) then Hashtbl.replace tbl v ()
+      | _ -> ())
+    code;
+  Hashtbl.fold (fun v () acc -> v :: acc) tbl []
+  |> List.sort Word.U256.compare

@@ -1,0 +1,29 @@
+(** Contract bytecode as an instruction array.
+
+    Program counters are instruction indices (not byte offsets): [JUMP] and
+    [JUMPI] target the index of a [JUMPDEST] instruction. [byte_size]
+    reports the size the program would occupy in the canonical EVM byte
+    encoding — the paper's D1 small/large split ([<= 3632] vs [> 3632]
+    encoded instructions) is measured against this. *)
+
+type t = Opcode.t array
+
+val length : t -> int
+(** Number of instructions. *)
+
+val byte_size : t -> int
+(** Size of the canonical byte encoding ([PUSH] widths are minimal). *)
+
+val jumpdests : t -> (int, unit) Hashtbl.t
+(** Indices of valid [JUMPDEST] instructions. *)
+
+val push_constants : t -> Word.U256.t list
+(** Distinct [PUSH] operand values that are not jump targets — the
+    contract's "magic numbers", used to seed the fuzzer's mutation
+    dictionary (the standard Echidna/ConFuzzius trick for strict
+    equality conditions). Sorted ascending. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing, one instruction per line with its index. *)
+
+val to_listing : t -> string

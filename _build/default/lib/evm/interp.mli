@@ -1,0 +1,59 @@
+(** The EVM interpreter.
+
+    Executes one transaction (an external message call) against a world
+    state and returns the new state plus a structured {!Trace.t}. The
+    interpreter is instrumented exactly as the paper requires:
+
+    - every [JUMPI] emits a branch event carrying the sFuzz-style branch
+      distance of the side not taken (§IV-B, branch distance feedback);
+    - stack values carry taint flags so the §IV-D bug oracles can see
+      block state, balances, [msg.sender], [tx.origin], calldata and call
+      results flowing into sinks;
+    - an optional simulated attacker account re-enters the contract when
+      it receives value, so reentrancy is actually exercised rather than
+      merely pattern-matched. *)
+
+type block_env = {
+  timestamp : Word.U256.t;
+  number : Word.U256.t;
+  coinbase : Word.U256.t;
+  difficulty : Word.U256.t;
+  gaslimit : Word.U256.t;
+}
+
+val default_block : block_env
+
+val advance_block : block_env -> block_env
+(** Bump number by one and timestamp by 13 (seconds). *)
+
+type msg = {
+  caller : State.address;
+  origin : State.address;
+  callee : State.address;
+  value : Word.U256.t;
+  data : string;  (** full calldata: 4-byte selector + ABI-encoded args *)
+  gas : int;
+}
+
+type config = {
+  max_call_depth : int;
+  attacker : State.address option;
+      (** account that re-enters its caller when paid *)
+  max_reentries : int;  (** attacker reentry budget per transaction *)
+}
+
+val default_config : config
+
+val attacker_address : State.address
+(** Conventional address installed for the simulated attacker. *)
+
+val execute :
+  ?config:config ->
+  block:block_env ->
+  state:State.t ->
+  msg ->
+  State.t * Trace.t
+(** [execute ~block ~state msg] runs the transaction. If the outcome is
+    not [Success], the returned state is the input state (the whole
+    transaction reverts), but the trace still describes the execution up
+    to the failure point — the fuzzer uses those branch events. *)

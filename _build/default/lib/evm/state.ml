@@ -1,0 +1,72 @@
+module WordMap = Map.Make (Word.U256)
+
+type address = Word.U256.t
+
+type account = {
+  balance : Word.U256.t;
+  code : Bytecode.t;
+  storage : Word.U256.t WordMap.t;
+}
+
+type t = account WordMap.t
+
+let empty = WordMap.empty
+
+let empty_account =
+  { balance = Word.U256.zero; code = [||]; storage = WordMap.empty }
+
+let account t addr = WordMap.find_opt addr t
+
+let get_or_empty t addr =
+  match WordMap.find_opt addr t with Some a -> a | None -> empty_account
+
+let code t addr = (get_or_empty t addr).code
+
+let balance t addr = (get_or_empty t addr).balance
+
+let storage_get t addr slot =
+  match WordMap.find_opt slot (get_or_empty t addr).storage with
+  | Some v -> v
+  | None -> Word.U256.zero
+
+let storage_set t addr slot value =
+  let acct = get_or_empty t addr in
+  let storage =
+    if Word.U256.is_zero value then WordMap.remove slot acct.storage
+    else WordMap.add slot value acct.storage
+  in
+  WordMap.add addr { acct with storage } t
+
+let storage_dump t addr =
+  WordMap.bindings (get_or_empty t addr).storage
+
+let set_code t addr c =
+  let acct = get_or_empty t addr in
+  WordMap.add addr { acct with code = c } t
+
+let credit t addr v =
+  let acct = get_or_empty t addr in
+  WordMap.add addr { acct with balance = Word.U256.add acct.balance v } t
+
+let debit t addr v =
+  let acct = get_or_empty t addr in
+  if Word.U256.lt acct.balance v then None
+  else Some (WordMap.add addr { acct with balance = Word.U256.sub acct.balance v } t)
+
+let transfer t ~from ~to_ v =
+  match debit t from v with
+  | None -> None
+  | Some t -> Some (credit t to_ v)
+
+let delete_account t addr ~beneficiary =
+  let acct = get_or_empty t addr in
+  let t = credit t beneficiary acct.balance in
+  WordMap.remove addr t
+
+let equal a b =
+  WordMap.equal
+    (fun x y ->
+      Word.U256.equal x.balance y.balance
+      && x.code = y.code
+      && WordMap.equal Word.U256.equal x.storage y.storage)
+    a b

@@ -1,0 +1,50 @@
+(** World state: accounts with balance, code and persistent storage.
+
+    The state is a persistent (immutable) value, so reverting a failed
+    call frame is just discarding the candidate state — the same trick
+    the paper relies on when it talks about returning to a previous
+    persistent state between transactions. *)
+
+type address = Word.U256.t
+
+type account = {
+  balance : Word.U256.t;
+  code : Bytecode.t;
+  storage : Word.U256.t Map.Make(Word.U256).t;
+}
+
+type t
+
+val empty : t
+
+val account : t -> address -> account option
+
+val code : t -> address -> Bytecode.t
+(** Empty array for absent accounts. *)
+
+val balance : t -> address -> Word.U256.t
+(** Zero for absent accounts. *)
+
+val storage_get : t -> address -> Word.U256.t -> Word.U256.t
+(** Zero for unset slots. *)
+
+val storage_set : t -> address -> Word.U256.t -> Word.U256.t -> t
+
+val storage_dump : t -> address -> (Word.U256.t * Word.U256.t) list
+(** Non-zero slots, unordered. *)
+
+val set_code : t -> address -> Bytecode.t -> t
+
+val credit : t -> address -> Word.U256.t -> t
+(** Add to balance (wrapping, though balances never realistically wrap). *)
+
+val debit : t -> address -> Word.U256.t -> t option
+(** [None] if the balance is insufficient. *)
+
+val transfer : t -> from:address -> to_:address -> Word.U256.t -> t option
+
+val delete_account : t -> address -> beneficiary:address -> t
+(** SELFDESTRUCT semantics: move the balance, drop code and storage. *)
+
+val equal : t -> t -> bool
+(** Structural equality of all accounts (used by tests). *)

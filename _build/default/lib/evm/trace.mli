@@ -1,0 +1,108 @@
+(** Structured execution traces.
+
+    The interpreter does not log raw opcode streams; it emits exactly the
+    events that the coverage instrumentation (branch identity + branch
+    distance, §IV-B of the paper), the energy scheduler (path-prefix
+    nesting and vulnerable-instruction reachability, Algorithm 3) and the
+    nine bug oracles (§IV-D) consume. *)
+
+(** Taint flags carried by every stack value; unioned through arithmetic
+    and comparisons. *)
+module Taint : sig
+  type t = int
+
+  val none : t
+
+  (** Sources, in order: TIMESTAMP/NUMBER/BLOCKHASH/COINBASE/DIFFICULTY;
+      BALANCE/SELFBALANCE; CALLER; ORIGIN; CALLDATALOAD; CALLVALUE; the
+      status word of an external CALL; values loaded from persistent
+      storage. *)
+
+  val block : t
+
+  val balance : t
+  val caller : t
+  val origin : t
+  val calldata : t
+  val callvalue : t
+  val callresult : t
+  val storage : t
+
+  val union : t -> t -> t
+  val has : t -> t -> bool
+end
+
+type call_kind = Call | Delegatecall | Staticcall
+
+val call_kind_to_string : call_kind -> string
+
+type event =
+  | Branch of {
+      pc : int;  (** instruction index of the JUMPI *)
+      taken : bool;
+      dist_to_flip : float;
+          (** sFuzz-style branch distance to the side {e not} taken;
+              [1.0] when the condition carried no comparison info. *)
+      cond_taint : Taint.t;
+    }
+  | Storage_write of { slot : Word.U256.t; value : Word.U256.t; pc : int;
+                       after_external_call : bool }
+  | Storage_read of { slot : Word.U256.t; pc : int }
+  | External_call of {
+      id : int;  (** unique per transaction, for result-check pairing *)
+      pc : int;
+      kind : call_kind;
+      target : Word.U256.t;
+      target_taint : Taint.t;
+      value : Word.U256.t;
+      gas : int;
+      success : bool;
+      caller_guard_before : bool;
+          (** a msg.sender comparison happened earlier in this frame *)
+    }
+  | Call_result_checked of { call_id : int }
+      (** the status word of call [call_id] reached a JUMPI *)
+  | Arith_overflow of { pc : int; op : string; taint : Taint.t }
+      (** an ADD/SUB/MUL result was truncated mod 2^256 *)
+  | Block_state_use of { pc : int; sink : string }
+      (** block-tainted value consumed by "jumpi" | "call" | "compare" *)
+  | Balance_compare of { pc : int; strict_eq : bool }
+  | Origin_use of { pc : int; sink : string }
+  | Selfdestruct of { pc : int; caller_guard_before : bool;
+                      beneficiary_taint : Taint.t }
+  | Value_transfer_out of { pc : int; amount : Word.U256.t }
+  | Invalid_reached of { pc : int }
+  | Revert_reached of { pc : int }
+  | Reentrant_call of { pc : int }
+      (** the simulated attacker re-entered the contract *)
+  | Log of { pc : int; topics : Word.U256.t list }
+      (** an event emission (LOGn) *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type status =
+  | Success
+  | Reverted
+  | Invalid_opcode
+  | Out_of_gas
+  | Stack_error
+  | Bad_jump
+  | Call_depth_exceeded
+
+val status_to_string : status -> string
+
+(** A completed transaction execution. *)
+type t = {
+  status : status;
+  events : event list;  (** in execution order *)
+  return_data : string;
+  gas_used : int;
+}
+
+val succeeded : t -> bool
+
+val branches : t -> (int * bool) list
+(** Branch identities [(pc, taken)] in order — the paper's basic-block
+    transition coverage unit. *)
+
+val branch_events : t -> event list

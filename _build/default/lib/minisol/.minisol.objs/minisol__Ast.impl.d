@@ -1,0 +1,1 @@
+lib/minisol/ast.ml: List Printf Word

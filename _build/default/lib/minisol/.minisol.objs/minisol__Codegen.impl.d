@@ -1,0 +1,1 @@
+lib/minisol/codegen.ml: Abi Array Ast Evm Hashtbl List Printf Typecheck Word

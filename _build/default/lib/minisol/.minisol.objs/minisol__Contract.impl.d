@@ -1,0 +1,1 @@
+lib/minisol/contract.ml: Abi Ast Codegen Evm List Parser

@@ -1,0 +1,1 @@
+lib/minisol/contract.mli: Abi Ast Evm

@@ -1,0 +1,1 @@
+lib/minisol/lexer.ml: List Printf String Word

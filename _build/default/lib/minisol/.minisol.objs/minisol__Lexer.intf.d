@@ -1,0 +1,1 @@
+lib/minisol/lexer.mli: Word

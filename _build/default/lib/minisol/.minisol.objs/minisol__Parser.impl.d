@@ -1,0 +1,1 @@
+lib/minisol/parser.ml: Array Ast Lexer List Printf Stdlib Word

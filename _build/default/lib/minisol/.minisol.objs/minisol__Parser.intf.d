@@ -1,0 +1,1 @@
+lib/minisol/parser.mli: Ast

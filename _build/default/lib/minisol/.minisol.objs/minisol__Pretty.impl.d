@@ -1,0 +1,1 @@
+lib/minisol/pretty.ml: Ast List Printf String Word

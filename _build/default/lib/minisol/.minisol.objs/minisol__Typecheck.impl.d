@@ -1,0 +1,1 @@
+lib/minisol/typecheck.ml: Ast Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/minisol/typecheck.mli: Ast

@@ -1,0 +1,113 @@
+type ty =
+  | T_uint256
+  | T_uint8
+  | T_address
+  | T_bool
+  | T_mapping of ty * ty
+  | T_array of ty
+
+let rec ty_to_string = function
+  | T_uint256 -> "uint256"
+  | T_uint8 -> "uint8"
+  | T_address -> "address"
+  | T_bool -> "bool"
+  | T_mapping (k, v) ->
+    Printf.sprintf "mapping(%s => %s)" (ty_to_string k) (ty_to_string v)
+  | T_array t -> ty_to_string t ^ "[]" 
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Gt | Le | Ge | Eq | Neq
+  | And | Or
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "==" | Neq -> "!="
+  | And -> "&&" | Or -> "||"
+
+type expr =
+  | Number of Word.U256.t
+  | Bool_lit of bool
+  | Ident of string
+  | Index of string * expr
+  | Array_length of string
+  | Array_push of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Msg_sender
+  | Msg_value
+  | Tx_origin
+  | Block_timestamp
+  | Block_number
+  | Block_difficulty
+  | Block_coinbase
+  | This_balance
+  | Balance_of of expr
+  | Keccak of expr list
+  | Blockhash of expr
+  | Send of expr * expr
+  | Call_value of expr * expr
+  | Transfer_call of expr * expr
+  | Delegatecall of expr * expr
+  | Internal_call of string * expr list
+
+type lvalue = L_var of string | L_index of string * expr
+
+type stmt =
+  | Local of ty * string * expr option
+  | Assign of lvalue * expr
+  | Aug_assign of lvalue * binop * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr * stmt option * stmt list
+  | Require of expr
+  | Assert of expr
+  | Revert
+  | Return of expr option
+  | Expr_stmt of expr
+  | Selfdestruct of expr
+  | Emit of string * expr list
+
+type visibility = Public | Internal
+
+type func = {
+  name : string;
+  params : (ty * string) list;
+  ret : ty option;
+  visibility : visibility;
+  payable : bool;
+  modifiers : string list;
+  body : stmt list;
+  is_constructor : bool;
+}
+
+type modifier_decl = {
+  m_name : string;
+  m_body_pre : stmt list;
+  m_body_post : stmt list;
+}
+
+type state_var = {
+  v_name : string;
+  v_ty : ty;
+  v_init : expr option;
+  v_slot : int;
+}
+
+type contract = {
+  c_name : string;
+  state_vars : state_var list;
+  modifiers_decls : modifier_decl list;
+  functions : func list;
+}
+
+let find_function c name = List.find_opt (fun f -> f.name = name) c.functions
+
+let find_state_var c name = List.find_opt (fun v -> v.v_name = name) c.state_vars
+
+let public_functions c =
+  List.filter (fun f -> f.visibility = Public && not f.is_constructor) c.functions
+
+let constructor c = List.find_opt (fun f -> f.is_constructor) c.functions

@@ -1,0 +1,116 @@
+(** Abstract syntax of Minisol, the Solidity subset compiled by this
+    reproduction.
+
+    The subset covers everything the paper's motivating examples and bug
+    classes exercise: persistent state variables (including mappings),
+    payable functions, require/assert, ether transfer primitives
+    ([transfer] / [send] / [call.value]), [delegatecall], [selfdestruct],
+    block and transaction context, modifiers, and wrapping 256-bit
+    arithmetic (solc 0.4 semantics, no SafeMath). *)
+
+type ty =
+  | T_uint256
+  | T_uint8
+  | T_address
+  | T_bool
+  | T_mapping of ty * ty  (** key type, value type *)
+  | T_array of ty  (** dynamic storage array *)
+
+val ty_to_string : ty -> string
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Gt | Le | Ge | Eq | Neq
+  | And | Or
+
+val binop_to_string : binop -> string
+
+type expr =
+  | Number of Word.U256.t
+  | Bool_lit of bool
+  | Ident of string  (** state variable, local, or parameter *)
+  | Index of string * expr  (** [m\[k\]] mapping or array access *)
+  | Array_length of string  (** [xs.length] *)
+  | Array_push of string * expr
+      (** [xs.push(e)]; evaluates to the new length (solc 0.4) *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Msg_sender
+  | Msg_value
+  | Tx_origin
+  | Block_timestamp
+  | Block_number
+  | Block_difficulty
+  | Block_coinbase
+  | This_balance  (** [address(this).balance] *)
+  | Balance_of of expr  (** [addr.balance] *)
+  | Keccak of expr list  (** [keccak256(...)], arguments hashed together *)
+  | Blockhash of expr
+  | Send of expr * expr  (** [addr.send(v)]; evaluates to bool *)
+  | Call_value of expr * expr  (** [addr.call.value(v)()]; forwards all gas *)
+  | Transfer_call of expr * expr
+      (** [addr.transfer(v)]: 2300-gas CALL that reverts on failure;
+          statement-position only *)
+  | Delegatecall of expr * expr  (** [addr.delegatecall(word)] *)
+  | Internal_call of string * expr list  (** call to an [internal] function *)
+
+type lvalue =
+  | L_var of string
+  | L_index of string * expr
+
+type stmt =
+  | Local of ty * string * expr option  (** [uint256 x = e;] *)
+  | Assign of lvalue * expr
+  | Aug_assign of lvalue * binop * expr  (** [x += e] etc. *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr * stmt option * stmt list
+  | Require of expr
+  | Assert of expr
+  | Revert
+  | Return of expr option
+  | Expr_stmt of expr  (** e.g. a [send] whose result is dropped *)
+  | Selfdestruct of expr
+  | Emit of string * expr list  (** events; compiled to LOG *)
+
+type visibility = Public | Internal
+
+type func = {
+  name : string;
+  params : (ty * string) list;
+  ret : ty option;
+  visibility : visibility;
+  payable : bool;
+  modifiers : string list;
+  body : stmt list;
+  is_constructor : bool;
+}
+
+type modifier_decl = {
+  m_name : string;
+  m_body_pre : stmt list;  (** statements before the [_;] placeholder *)
+  m_body_post : stmt list;  (** statements after it *)
+}
+
+type state_var = {
+  v_name : string;
+  v_ty : ty;
+  v_init : expr option;
+  v_slot : int;  (** assigned in declaration order *)
+}
+
+type contract = {
+  c_name : string;
+  state_vars : state_var list;
+  modifiers_decls : modifier_decl list;
+  functions : func list;  (** constructor included, if any *)
+}
+
+val find_function : contract -> string -> func option
+val find_state_var : contract -> string -> state_var option
+val public_functions : contract -> func list
+(** Public non-constructor functions, in declaration order. *)
+
+val constructor : contract -> func option

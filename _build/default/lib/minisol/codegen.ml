@@ -1,0 +1,584 @@
+open Ast
+module U = Word.U256
+module Op = Evm.Opcode
+
+let constructor_guard_slot = U.shift_left U.one 255
+
+(* Pseudo-instructions: labels become JUMPDESTs, label pushes are patched
+   to the label's instruction index during assembly. *)
+type pinstr =
+  | I of Op.t
+  | Push_label of string
+  | Label of string
+
+type cg = {
+  contract : contract;
+  mutable out : pinstr list;  (* reversed *)
+  mutable label_counter : int;
+  var_slots : (string, int) Hashtbl.t;  (* "<func>.<var>" -> memory offset *)
+  mutable next_mem : int;
+}
+
+let emit cg op = cg.out <- I op :: cg.out
+let emit_push cg v = emit cg (Op.PUSH v)
+let emit_push_int cg n = emit_push cg (U.of_int n)
+let push_label cg l = cg.out <- Push_label l :: cg.out
+let place_label cg l = cg.out <- Label l :: cg.out
+
+let fresh_label cg prefix =
+  cg.label_counter <- cg.label_counter + 1;
+  Printf.sprintf "%s_%d" prefix cg.label_counter
+
+let mem_slot cg func_name var =
+  let key = func_name ^ "." ^ var in
+  match Hashtbl.find_opt cg.var_slots key with
+  | Some off -> off
+  | None ->
+    let off = cg.next_mem in
+    cg.next_mem <- cg.next_mem + 32;
+    Hashtbl.add cg.var_slots key off;
+    off
+
+(* Variable resolution: locals and params shadow state variables. *)
+type var_kind =
+  | Local_mem of int
+  | State_slot of int
+  | Mapping_slot of int
+  | Array_slot of int
+
+let resolve cg (func : func) name =
+  let key = func.name ^ "." ^ name in
+  if Hashtbl.mem cg.var_slots key then Local_mem (Hashtbl.find cg.var_slots key)
+  else
+    match find_state_var cg.contract name with
+    | Some v -> begin
+      match v.v_ty with
+      | T_mapping _ -> Mapping_slot v.v_slot
+      | T_array _ -> Array_slot v.v_slot
+      | _ -> State_slot v.v_slot
+    end
+    | None -> Local_mem (mem_slot cg func.name name)
+
+(* Scratch memory for SHA3-based slot derivation; locals start above it. *)
+let scratch = 0x00
+let locals_base = 0x200
+
+let rec compile_expr cg (func : func) (e : expr) =
+  match e with
+  | Number n -> emit_push cg n
+  | Bool_lit b -> emit_push cg (if b then U.one else U.zero)
+  | Ident "this" -> emit cg Op.ADDRESS
+  | Ident name -> begin
+    match resolve cg func name with
+    | Local_mem off ->
+      emit_push_int cg off;
+      emit cg Op.MLOAD
+    | State_slot slot ->
+      emit_push_int cg slot;
+      emit cg Op.SLOAD
+    | Mapping_slot _ | Array_slot _ ->
+      raise (Typecheck.Type_error ("aggregate used as value: " ^ name))
+  end
+  | Index (name, key) ->
+    compile_element_slot cg func name key;
+    emit cg Op.SLOAD
+  | Array_length name -> begin
+    match resolve cg func name with
+    | Array_slot slot ->
+      emit_push_int cg slot;
+      emit cg Op.SLOAD
+    | _ -> raise (Typecheck.Type_error (name ^ " is not an array"))
+  end
+  | Array_push (name, e) -> begin
+    match resolve cg func name with
+    | Array_slot slot ->
+      (* elem slot = keccak256(slot) + len; store, then bump the length;
+         the push expression evaluates to the new length (solc 0.4) *)
+      emit_push_int cg slot;
+      emit cg Op.SLOAD;
+      emit cg (Op.DUP 1);
+      emit_push_int cg slot;
+      emit_push_int cg scratch;
+      emit cg Op.MSTORE;
+      emit_push_int cg 32;
+      emit_push_int cg scratch;
+      emit cg Op.SHA3;
+      emit cg Op.ADD;
+      compile_expr cg func e;
+      emit cg (Op.SWAP 1);
+      emit cg Op.SSTORE;
+      emit_push cg U.one;
+      emit cg Op.ADD;
+      emit cg (Op.DUP 1);
+      emit_push_int cg slot;
+      emit cg Op.SSTORE
+    | _ -> raise (Typecheck.Type_error (name ^ " is not an array"))
+  end
+  | Unop (Neg, e) ->
+    compile_expr cg func e;
+    emit_push cg U.zero;
+    emit cg Op.SUB
+  | Unop (Not, e) ->
+    compile_expr cg func e;
+    emit cg Op.ISZERO
+  | Binop (op, a, b) -> begin
+    compile_expr cg func a;
+    compile_expr cg func b;
+    (* stack: [b (top); a]. EVM binops take their first operand from the
+       top, so non-commutative operations need a swap. *)
+    match op with
+    | Add -> emit cg Op.ADD
+    | Mul -> emit cg Op.MUL
+    | Sub ->
+      emit cg (Op.SWAP 1);
+      emit cg Op.SUB
+    | Div ->
+      emit cg (Op.SWAP 1);
+      emit cg Op.DIV
+    | Mod ->
+      emit cg (Op.SWAP 1);
+      emit cg Op.MOD
+    | Lt ->
+      emit cg (Op.SWAP 1);
+      emit cg Op.LT
+    | Gt ->
+      emit cg (Op.SWAP 1);
+      emit cg Op.GT
+    | Le ->
+      emit cg (Op.SWAP 1);
+      emit cg Op.GT;
+      emit cg Op.ISZERO
+    | Ge ->
+      emit cg (Op.SWAP 1);
+      emit cg Op.LT;
+      emit cg Op.ISZERO
+    | Eq -> emit cg Op.EQ
+    | Neq ->
+      emit cg Op.EQ;
+      emit cg Op.ISZERO
+    | And -> emit cg Op.AND
+    | Or -> emit cg Op.OR
+  end
+  | Msg_sender -> emit cg Op.CALLER
+  | Msg_value -> emit cg Op.CALLVALUE
+  | Tx_origin -> emit cg Op.ORIGIN
+  | Block_timestamp -> emit cg Op.TIMESTAMP
+  | Block_number -> emit cg Op.NUMBER
+  | Block_difficulty -> emit cg Op.DIFFICULTY
+  | Block_coinbase -> emit cg Op.COINBASE
+  | This_balance -> emit cg Op.SELFBALANCE
+  | Balance_of e ->
+    compile_expr cg func e;
+    emit cg Op.BALANCE
+  | Keccak args ->
+    let n = List.length args in
+    List.iter (compile_expr cg func) args;
+    (* last argument is on top; store back-to-front *)
+    for i = n - 1 downto 0 do
+      emit_push_int cg (scratch + (32 * i));
+      emit cg Op.MSTORE
+    done;
+    emit_push_int cg (32 * n);
+    emit_push_int cg scratch;
+    emit cg Op.SHA3
+  | Blockhash e ->
+    compile_expr cg func e;
+    emit cg Op.BLOCKHASH
+  | Send (target, v) ->
+    (* CALL pops: gas, to, value, in_off, in_len, out_off, out_len *)
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    compile_expr cg func v;
+    compile_expr cg func target;
+    emit_push_int cg 2300;
+    emit cg Op.CALL
+  | Transfer_call (target, v) ->
+    compile_expr cg func (Send (target, v));
+    let ok = fresh_label cg "xfer_ok" in
+    push_label cg ok;
+    emit cg Op.JUMPI;
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit cg Op.REVERT;
+    place_label cg ok;
+    (* leave a unit value so expression positions stay uniform *)
+    emit_push cg U.one
+  | Call_value (target, v) ->
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    compile_expr cg func v;
+    compile_expr cg func target;
+    emit cg Op.GAS;
+    emit cg Op.CALL
+  | Delegatecall (target, data) ->
+    (* DELEGATECALL pops: gas, to, in_off, in_len, out_off, out_len *)
+    compile_expr cg func data;
+    emit_push_int cg scratch;
+    emit cg Op.MSTORE;
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit_push_int cg 32;
+    emit_push_int cg scratch;
+    compile_expr cg func target;
+    emit cg Op.GAS;
+    emit cg Op.DELEGATECALL
+  | Internal_call (name, args) ->
+    let callee =
+      match find_function cg.contract name with
+      | Some f -> f
+      | None -> raise (Typecheck.Type_error ("unknown function " ^ name))
+    in
+    List.iter (compile_expr cg func) args;
+    (* store arguments into the callee's parameter slots, last first *)
+    List.iter
+      (fun (_, pname) ->
+        emit_push_int cg (mem_slot cg callee.name pname);
+        emit cg Op.MSTORE)
+      (List.rev callee.params);
+    let ret = fresh_label cg "ret" in
+    push_label cg ret;
+    push_label cg ("fn_" ^ name);
+    emit cg Op.JUMP;
+    place_label cg ret
+
+(* Leaves the derived storage slot for m[key] / xs[i] on the stack:
+   mappings use keccak256(key ++ slot); arrays use keccak256(slot) + i
+   with a bounds check against the stored length (OOB hits INVALID, as
+   solc compiles it). *)
+and compile_element_slot cg func name key =
+  match resolve cg func name with
+  | Mapping_slot slot ->
+    compile_expr cg func key;
+    emit_push_int cg scratch;
+    emit cg Op.MSTORE;
+    emit_push_int cg slot;
+    emit_push_int cg (scratch + 32);
+    emit cg Op.MSTORE;
+    emit_push_int cg 64;
+    emit_push_int cg scratch;
+    emit cg Op.SHA3
+  | Array_slot slot ->
+    let ok = fresh_label cg "idx_ok" in
+    compile_expr cg func key;
+    emit cg (Op.DUP 1);
+    emit_push_int cg slot;
+    emit cg Op.SLOAD;
+    emit cg Op.GT;
+    push_label cg ok;
+    emit cg Op.JUMPI;
+    emit cg Op.INVALID;
+    place_label cg ok;
+    emit_push_int cg slot;
+    emit_push_int cg scratch;
+    emit cg Op.MSTORE;
+    emit_push_int cg 32;
+    emit_push_int cg scratch;
+    emit cg Op.SHA3;
+    emit cg Op.ADD
+  | Local_mem _ | State_slot _ ->
+    raise (Typecheck.Type_error (name ^ " is not indexable"))
+
+let rec compile_stmt cg (func : func) (s : stmt) =
+  match s with
+  | Local (_, name, init) -> begin
+    let off = mem_slot cg func.name name in
+    match init with
+    | Some e ->
+      compile_expr cg func e;
+      emit_push_int cg off;
+      emit cg Op.MSTORE
+    | None -> ()
+  end
+  | Assign (L_var name, e) -> begin
+    compile_expr cg func e;
+    match resolve cg func name with
+    | Local_mem off ->
+      emit_push_int cg off;
+      emit cg Op.MSTORE
+    | State_slot slot ->
+      emit_push_int cg slot;
+      emit cg Op.SSTORE
+    | Mapping_slot _ | Array_slot _ ->
+      raise (Typecheck.Type_error ("cannot assign to aggregate " ^ name))
+  end
+  | Assign (L_index (name, key), e) ->
+    compile_expr cg func e;
+    compile_element_slot cg func name key;
+    emit cg Op.SSTORE
+  | Aug_assign (lv, op, e) ->
+    let lhs_expr =
+      match lv with L_var n -> Ident n | L_index (n, k) -> Index (n, k)
+    in
+    compile_stmt cg func (Assign (lv, Binop (op, lhs_expr, e)))
+  | If (cond, then_b, []) ->
+    let end_l = fresh_label cg "endif" in
+    compile_expr cg func cond;
+    emit cg Op.ISZERO;
+    push_label cg end_l;
+    emit cg Op.JUMPI;
+    List.iter (compile_stmt cg func) then_b;
+    place_label cg end_l
+  | If (cond, then_b, else_b) ->
+    let else_l = fresh_label cg "else" in
+    let end_l = fresh_label cg "endif" in
+    compile_expr cg func cond;
+    emit cg Op.ISZERO;
+    push_label cg else_l;
+    emit cg Op.JUMPI;
+    List.iter (compile_stmt cg func) then_b;
+    push_label cg end_l;
+    emit cg Op.JUMP;
+    place_label cg else_l;
+    List.iter (compile_stmt cg func) else_b;
+    place_label cg end_l
+  | While (cond, body) ->
+    let start = fresh_label cg "while" in
+    let end_l = fresh_label cg "wend" in
+    place_label cg start;
+    compile_expr cg func cond;
+    emit cg Op.ISZERO;
+    push_label cg end_l;
+    emit cg Op.JUMPI;
+    List.iter (compile_stmt cg func) body;
+    push_label cg start;
+    emit cg Op.JUMP;
+    place_label cg end_l
+  | For (init, cond, post, body) ->
+    (match init with Some i -> compile_stmt cg func i | None -> ());
+    let start = fresh_label cg "for" in
+    let end_l = fresh_label cg "fend" in
+    place_label cg start;
+    compile_expr cg func cond;
+    emit cg Op.ISZERO;
+    push_label cg end_l;
+    emit cg Op.JUMPI;
+    List.iter (compile_stmt cg func) body;
+    (match post with Some p -> compile_stmt cg func p | None -> ());
+    push_label cg start;
+    emit cg Op.JUMP;
+    place_label cg end_l
+  | Require e ->
+    let ok = fresh_label cg "req_ok" in
+    compile_expr cg func e;
+    push_label cg ok;
+    emit cg Op.JUMPI;
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit cg Op.REVERT;
+    place_label cg ok
+  | Assert e ->
+    let ok = fresh_label cg "asrt_ok" in
+    compile_expr cg func e;
+    push_label cg ok;
+    emit cg Op.JUMPI;
+    emit cg Op.INVALID;
+    place_label cg ok
+  | Revert ->
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit cg Op.REVERT
+  | Return None ->
+    emit_push cg U.zero;
+    emit cg (Op.SWAP 1);
+    emit cg Op.JUMP
+  | Return (Some e) ->
+    compile_expr cg func e;
+    emit cg (Op.SWAP 1);
+    emit cg Op.JUMP
+  | Expr_stmt (Transfer_call _ as e) ->
+    compile_expr cg func e;
+    emit cg Op.POP
+  | Expr_stmt e ->
+    compile_expr cg func e;
+    emit cg Op.POP
+  | Selfdestruct e ->
+    compile_expr cg func e;
+    emit cg Op.SELFDESTRUCT
+  | Emit (_, args) ->
+    let n = List.length args in
+    List.iter (compile_expr cg func) args;
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit cg (Op.LOG n)
+
+(* Wrap a function body in its modifiers, outermost first. *)
+let expand_modifiers (c : contract) (f : func) =
+  List.fold_right
+    (fun mname body ->
+      match List.find_opt (fun d -> d.m_name = mname) c.modifiers_decls with
+      | Some d -> d.m_body_pre @ body @ d.m_body_post
+      | None -> body)
+    f.modifiers f.body
+
+let compile_function cg (f : func) =
+  (* Calling convention: stack on entry is [return-label]; the body ends
+     by pushing one result word and jumping back. *)
+  place_label cg ("fn_" ^ f.name);
+  if f.is_constructor then begin
+    (* run-once guard *)
+    let ok = fresh_label cg "ctor_ok" in
+    emit_push cg constructor_guard_slot;
+    emit cg Op.SLOAD;
+    emit cg Op.ISZERO;
+    push_label cg ok;
+    emit cg Op.JUMPI;
+    emit_push cg U.zero;
+    emit_push cg U.zero;
+    emit cg Op.REVERT;
+    place_label cg ok;
+    emit_push cg U.one;
+    emit_push cg constructor_guard_slot;
+    emit cg Op.SSTORE;
+    (* state-variable initializers *)
+    List.iter
+      (fun v ->
+        match v.v_init with
+        | Some e ->
+          compile_expr cg f e;
+          emit_push_int cg v.v_slot;
+          emit cg Op.SSTORE
+        | None -> ())
+      cg.contract.state_vars
+  end;
+  List.iter (compile_stmt cg f) (expand_modifiers cg.contract f);
+  (* implicit return 0 *)
+  emit_push cg U.zero;
+  emit cg (Op.SWAP 1);
+  emit cg Op.JUMP
+
+let abi_ty = function
+  | T_uint256 -> Abi.Uint256
+  | T_uint8 -> Abi.Uint8
+  | T_address -> Abi.Address
+  | T_bool -> Abi.Bool
+  | T_mapping _ | T_array _ ->
+    raise (Typecheck.Type_error "aggregate in ABI position")
+
+let abi_of_func (f : func) =
+  {
+    Abi.name = (if f.is_constructor then "constructor" else f.name);
+    inputs = List.map (fun (ty, _) -> abi_ty ty) f.params;
+    payable = f.payable || f.is_constructor;
+    is_constructor = f.is_constructor;
+  }
+
+let synth_constructor =
+  {
+    name = "constructor";
+    params = [];
+    ret = None;
+    visibility = Public;
+    payable = true;
+    modifiers = [];
+    body = [];
+    is_constructor = true;
+  }
+
+let assemble (pinstrs : pinstr list) : Evm.Bytecode.t =
+  (* First pass: assign instruction indices; labels become JUMPDESTs. *)
+  let targets = Hashtbl.create 64 in
+  let idx = ref 0 in
+  List.iter
+    (fun p ->
+      (match p with Label name -> Hashtbl.replace targets name !idx | _ -> ());
+      incr idx)
+    pinstrs;
+  let resolve name =
+    match Hashtbl.find_opt targets name with
+    | Some i -> U.of_int i
+    | None -> raise (Typecheck.Type_error ("unresolved label " ^ name))
+  in
+  Array.of_list
+    (List.map
+       (function
+         | I op -> op
+         | Label _ -> Op.JUMPDEST
+         | Push_label name -> Op.PUSH (resolve name))
+       pinstrs)
+
+let compile (c : contract) =
+  Typecheck.check c;
+  let c =
+    if constructor c = None then { c with functions = synth_constructor :: c.functions }
+    else c
+  in
+  let cg =
+    {
+      contract = c;
+      out = [];
+      label_counter = 0;
+      var_slots = Hashtbl.create 64;
+      next_mem = locals_base;
+    }
+  in
+  let externally_callable =
+    (match constructor c with Some f -> [ f ] | None -> [])
+    @ public_functions c
+  in
+  let abi = List.map abi_of_func externally_callable in
+  (* Pre-allocate parameter slots so the dispatcher can fill them. *)
+  List.iter
+    (fun (f : func) ->
+      List.iter (fun (_, pname) -> ignore (mem_slot cg f.name pname)) f.params)
+    c.functions;
+  (* Dispatcher. *)
+  emit_push cg U.zero;
+  emit cg Op.CALLDATALOAD;
+  emit_push_int cg 224;
+  emit cg Op.SHR;
+  List.iter
+    (fun (f : func) ->
+      let sel = Abi.selector (abi_of_func f) in
+      emit cg (Op.DUP 1);
+      emit_push cg (U.of_bytes_be sel);
+      emit cg Op.EQ;
+      push_label cg ("disp_" ^ f.name);
+      emit cg Op.JUMPI)
+    externally_callable;
+  (* Fallback: accept plain value transfers. *)
+  emit cg Op.STOP;
+  (* Per-function dispatch stubs. *)
+  List.iter
+    (fun (f : func) ->
+      place_label cg ("disp_" ^ f.name);
+      emit cg Op.POP;
+      (* reject value sent to non-payable functions *)
+      if not (f.payable || f.is_constructor) then begin
+        let ok = fresh_label cg "nonpay_ok" in
+        emit cg Op.CALLVALUE;
+        emit cg Op.ISZERO;
+        push_label cg ok;
+        emit cg Op.JUMPI;
+        emit_push cg U.zero;
+        emit_push cg U.zero;
+        emit cg Op.REVERT;
+        place_label cg ok
+      end;
+      (* copy arguments from calldata into the parameter slots *)
+      List.iteri
+        (fun i (_, pname) ->
+          emit_push_int cg (4 + (32 * i));
+          emit cg Op.CALLDATALOAD;
+          emit_push_int cg (mem_slot cg f.name pname);
+          emit cg Op.MSTORE)
+        f.params;
+      push_label cg ("finish_" ^ f.name);
+      push_label cg ("fn_" ^ f.name);
+      emit cg Op.JUMP;
+      place_label cg ("finish_" ^ f.name);
+      match f.ret with
+      | Some _ ->
+        emit_push cg U.zero;
+        emit cg Op.MSTORE;
+        emit_push_int cg 32;
+        emit_push cg U.zero;
+        emit cg Op.RETURN
+      | None -> emit cg Op.STOP)
+    externally_callable;
+  (* Function bodies (all functions, including internal ones). *)
+  List.iter (compile_function cg) c.functions;
+  (assemble (List.rev cg.out), abi)

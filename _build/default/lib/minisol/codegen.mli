@@ -1,0 +1,24 @@
+(** Compilation of a checked Minisol AST to EVM bytecode.
+
+    Layout of the generated program:
+    - a selector dispatcher at instruction 0 ([CALLDATALOAD 0 >> 224]
+      compared against each public function's selector);
+    - a per-function "finish" stub that returns or stops;
+    - one body per function (public and internal share the same calling
+      convention: the caller pushes a return label, the callee leaves a
+      single result word and jumps back).
+
+    Locals and parameters live in EVM memory at statically allocated,
+    contract-unique offsets (no recursion). Mappings use the Solidity
+    slot derivation [keccak256(key ++ slot)]. The constructor is exposed
+    as an ordinary selector guarded by a one-shot storage flag, so
+    deployment reuses the transaction machinery. *)
+
+val constructor_guard_slot : Word.U256.t
+(** Storage slot of the constructor's run-once flag (2^255). *)
+
+val compile : Ast.contract -> Evm.Bytecode.t * Abi.func list
+(** Compiles the contract; the ABI list contains the (possibly
+    synthesised) constructor first, then the public functions in
+    declaration order.
+    @raise Typecheck.Type_error if the contract is malformed. *)

@@ -1,0 +1,218 @@
+module U = Word.U256
+
+type token =
+  | IDENT of string
+  | NUMBER of U.t
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | ASSIGN | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN
+  | EQ | NEQ | LE | GE | LT | GT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ANDAND | OROR | BANG
+  | UNDERSCORE
+  | EOF
+
+type positioned = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let token_to_string = function
+  | IDENT s -> s
+  | NUMBER n -> U.to_decimal_string n
+  | LBRACE -> "{" | RBRACE -> "}" | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | ARROW -> "=>"
+  | ASSIGN -> "=" | PLUS_ASSIGN -> "+=" | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*=" | SLASH_ASSIGN -> "/="
+  | EQ -> "==" | NEQ -> "!=" | LE -> "<=" | GE -> ">=" | LT -> "<" | GT -> ">"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | UNDERSCORE -> "_"
+  | EOF -> "<eof>"
+
+let unit_scale = function
+  | "wei" -> Some "1"
+  | "finney" -> Some "1000000000000000"
+  | "ether" -> Some "1000000000000000000"
+  | "seconds" -> Some "1"
+  | "minutes" -> Some "60"
+  | "hours" -> Some "3600"
+  | "days" -> Some "86400"
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let out = ref [] in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let cur () = peek 0 in
+  let advance () =
+    (match cur () with
+    | Some '\n' ->
+      incr line;
+      col := 1
+    | Some _ -> incr col
+    | None -> ());
+    incr pos
+  in
+  let error msg = raise (Lex_error (msg, !line, !col)) in
+  let add tok l c = out := { tok; line = l; col = c } :: !out in
+  let read_ident () =
+    let start = !pos in
+    while (match cur () with Some c -> is_ident_char c | None -> false) do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let skip_ws_and_comments () =
+    let continue = ref true in
+    while !continue do
+      match cur () with
+      | Some (' ' | '\t' | '\r' | '\n') -> advance ()
+      | Some '/' when peek 1 = Some '/' ->
+        while cur () <> None && cur () <> Some '\n' do
+          advance ()
+        done
+      | Some '/' when peek 1 = Some '*' ->
+        advance ();
+        advance ();
+        let closed = ref false in
+        while not !closed do
+          match cur () with
+          | None -> error "unterminated comment"
+          | Some '*' when peek 1 = Some '/' ->
+            advance ();
+            advance ();
+            closed := true
+          | Some _ -> advance ()
+        done
+      | _ -> continue := false
+    done
+  in
+  let read_number () =
+    let l = !line and c = !col in
+    let value =
+      if cur () = Some '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        advance ();
+        advance ();
+        let start = !pos in
+        while (match cur () with Some ch -> is_hex_digit ch || ch = '_' | None -> false) do
+          advance ()
+        done;
+        let digits =
+          String.concat ""
+            (String.split_on_char '_' (String.sub src start (!pos - start)))
+        in
+        if digits = "" then error "empty hex literal";
+        U.of_hex_string digits
+      end
+      else begin
+        let start = !pos in
+        while (match cur () with Some ch -> is_digit ch || ch = '_' | None -> false) do
+          advance ()
+        done;
+        U.of_decimal_string (String.sub src start (!pos - start))
+      end
+    in
+    (* Optional unit suffix: "100 ether", "88 finney", "3 days". *)
+    let saved_pos = !pos and saved_line = !line and saved_col = !col in
+    skip_ws_and_comments ();
+    let value =
+      match cur () with
+      | Some ch when is_ident_start ch -> begin
+        let word_start = !pos in
+        let word = read_ident () in
+        match unit_scale word with
+        | Some scale -> U.mul value (U.of_decimal_string scale)
+        | None ->
+          (* Not a unit: rewind the identifier (but keep skipped ws). *)
+          pos := word_start;
+          col := saved_col + (word_start - saved_pos);
+          value
+      end
+      | _ ->
+        pos := saved_pos;
+        line := saved_line;
+        col := saved_col;
+        value
+    in
+    add (NUMBER value) l c
+  in
+  while !pos < n do
+    skip_ws_and_comments ();
+    if !pos < n then begin
+      let l = !line and c = !col in
+      match cur () with
+      | None -> ()
+      | Some ch when is_digit ch -> read_number ()
+      | Some ch when is_ident_start ch ->
+        let word = read_ident () in
+        if word = "pragma" then begin
+          (* pragma directives may contain version operators the language
+             has no tokens for; skip the whole directive here *)
+          while cur () <> None && cur () <> Some ';' do
+            advance ()
+          done;
+          if cur () = Some ';' then advance ()
+        end
+        else if word = "_" then add UNDERSCORE l c
+        else add (IDENT word) l c
+      | Some '{' -> advance (); add LBRACE l c
+      | Some '}' -> advance (); add RBRACE l c
+      | Some '(' -> advance (); add LPAREN l c
+      | Some ')' -> advance (); add RPAREN l c
+      | Some '[' -> advance (); add LBRACKET l c
+      | Some ']' -> advance (); add RBRACKET l c
+      | Some ';' -> advance (); add SEMI l c
+      | Some ',' -> advance (); add COMMA l c
+      | Some '.' -> advance (); add DOT l c
+      | Some '=' ->
+        advance ();
+        if cur () = Some '=' then (advance (); add EQ l c)
+        else if cur () = Some '>' then (advance (); add ARROW l c)
+        else add ASSIGN l c
+      | Some '!' ->
+        advance ();
+        if cur () = Some '=' then (advance (); add NEQ l c) else add BANG l c
+      | Some '<' ->
+        advance ();
+        if cur () = Some '=' then (advance (); add LE l c) else add LT l c
+      | Some '>' ->
+        advance ();
+        if cur () = Some '=' then (advance (); add GE l c) else add GT l c
+      | Some '+' ->
+        advance ();
+        if cur () = Some '=' then (advance (); add PLUS_ASSIGN l c)
+        else if cur () = Some '+' then (advance (); add PLUS_ASSIGN l c)
+          (* x++ is sugar for x += (handled in the parser via a 1 literal) *)
+        else add PLUS l c
+      | Some '-' ->
+        advance ();
+        if cur () = Some '=' then (advance (); add MINUS_ASSIGN l c)
+        else if cur () = Some '-' then (advance (); add MINUS_ASSIGN l c)
+        else add MINUS l c
+      | Some '*' ->
+        advance ();
+        if cur () = Some '=' then (advance (); add STAR_ASSIGN l c) else add STAR l c
+      | Some '/' ->
+        advance ();
+        if cur () = Some '=' then (advance (); add SLASH_ASSIGN l c) else add SLASH l c
+      | Some '%' -> advance (); add PERCENT l c
+      | Some '&' ->
+        advance ();
+        if cur () = Some '&' then (advance (); add ANDAND l c)
+        else error "single '&' is not supported"
+      | Some '|' ->
+        advance ();
+        if cur () = Some '|' then (advance (); add OROR l c)
+        else error "single '|' is not supported"
+      | Some ch -> error (Printf.sprintf "unexpected character %C" ch)
+    end
+  done;
+  add EOF !line !col;
+  List.rev !out

@@ -1,0 +1,26 @@
+(** Tokenizer for Minisol source. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of Word.U256.t
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW  (** [=>] *)
+  | ASSIGN | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN
+  | EQ | NEQ | LE | GE | LT | GT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ANDAND | OROR | BANG
+  | UNDERSCORE
+  | EOF
+
+type positioned = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** message, line, column *)
+
+val tokenize : string -> positioned list
+(** Tokenizes a full source text. Comments ([//] and [/* */]) and
+    whitespace are skipped. Number literals accept [_] separators, [0x]
+    hex, and the suffixes [wei] / [finney] / [ether] / [days] / [hours] /
+    [minutes] / [seconds] which scale the value. *)
+
+val token_to_string : token -> string

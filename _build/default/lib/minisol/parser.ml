@@ -1,0 +1,616 @@
+open Ast
+module L = Lexer
+
+exception Parse_error of string * int * int
+
+type st = { toks : L.positioned array; mutable i : int }
+
+let cur st = st.toks.(st.i)
+
+let error st msg =
+  let p = cur st in
+  raise (Parse_error (Printf.sprintf "%s (got %s)" msg (L.token_to_string p.tok), p.line, p.col))
+
+let advance st = if st.i < Array.length st.toks - 1 then st.i <- st.i + 1
+
+let expect st tok msg =
+  if (cur st).tok = tok then advance st else error st msg
+
+let accept st tok =
+  if (cur st).tok = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_ident st name =
+  match (cur st).tok with
+  | L.IDENT s when s = name ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  match (cur st).tok with
+  | L.IDENT s ->
+    advance st;
+    s
+  | _ -> error st "expected identifier"
+
+let peek_tok st k =
+  let j = Stdlib.min (st.i + k) (Array.length st.toks - 1) in
+  st.toks.(j).tok
+
+let is_type_name = function
+  | "uint256" | "uint" | "uint8" | "address" | "bool" | "mapping" -> true
+  | _ -> false
+
+let rec parse_type st =
+  let base = parse_base_type st in
+  if (cur st).tok = L.LBRACKET && peek_tok st 1 = L.RBRACKET then begin
+    advance st;
+    advance st;
+    T_array base
+  end
+  else base
+
+and parse_base_type st =
+  match (cur st).tok with
+  | L.IDENT "uint256" | L.IDENT "uint" ->
+    advance st;
+    T_uint256
+  | L.IDENT "uint8" ->
+    advance st;
+    T_uint8
+  | L.IDENT "address" ->
+    advance st;
+    T_address
+  | L.IDENT "bool" ->
+    advance st;
+    T_bool
+  | L.IDENT "mapping" ->
+    advance st;
+    expect st L.LPAREN "expected '(' after mapping";
+    let k = parse_type st in
+    expect st L.ARROW "expected '=>' in mapping type";
+    let v = parse_type st in
+    expect st L.RPAREN "expected ')' closing mapping type";
+    T_mapping (k, v)
+  | _ -> error st "expected a type"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while accept st L.OROR do
+    let rhs = parse_and st in
+    lhs := Binop (Or, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_equality st) in
+  while accept st L.ANDAND do
+    let rhs = parse_equality st in
+    lhs := Binop (And, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_equality st =
+  let lhs = ref (parse_relational st) in
+  let continue = ref true in
+  while !continue do
+    if accept st L.EQ then lhs := Binop (Eq, !lhs, parse_relational st)
+    else if accept st L.NEQ then lhs := Binop (Neq, !lhs, parse_relational st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_relational st =
+  let lhs = ref (parse_additive st) in
+  let continue = ref true in
+  while !continue do
+    if accept st L.LT then lhs := Binop (Lt, !lhs, parse_additive st)
+    else if accept st L.GT then lhs := Binop (Gt, !lhs, parse_additive st)
+    else if accept st L.LE then lhs := Binop (Le, !lhs, parse_additive st)
+    else if accept st L.GE then lhs := Binop (Ge, !lhs, parse_additive st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    if accept st L.PLUS then lhs := Binop (Add, !lhs, parse_multiplicative st)
+    else if accept st L.MINUS then lhs := Binop (Sub, !lhs, parse_multiplicative st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    if accept st L.STAR then lhs := Binop (Mul, !lhs, parse_unary st)
+    else if accept st L.SLASH then lhs := Binop (Div, !lhs, parse_unary st)
+    else if accept st L.PERCENT then lhs := Binop (Mod, !lhs, parse_unary st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if accept st L.BANG then Unop (Not, parse_unary st)
+  else if accept st L.MINUS then Unop (Neg, parse_unary st)
+  else parse_postfix st
+
+and parse_args st =
+  expect st L.LPAREN "expected '('";
+  let args = ref [] in
+  if (cur st).tok <> L.RPAREN then begin
+    args := [ parse_expr st ];
+    while accept st L.COMMA do
+      args := parse_expr st :: !args
+    done
+  end;
+  expect st L.RPAREN "expected ')'";
+  List.rev !args
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match (cur st).tok with
+    | L.LBRACKET -> begin
+      advance st;
+      let idx = parse_expr st in
+      expect st L.RBRACKET "expected ']'";
+      match !e with
+      | Ident name -> e := Index (name, idx)
+      | _ -> error st "indexing is only supported on named mappings"
+    end
+    | L.DOT -> begin
+      advance st;
+      let member = expect_ident st in
+      match member with
+      | "balance" ->
+        e := (match !e with Ident "this" -> This_balance | b -> Balance_of b)
+      | "length" ->
+        e := (match !e with
+             | Ident name -> Array_length name
+             | _ -> error st ".length is only supported on named arrays")
+      | "push" -> begin
+        match (!e, parse_args st) with
+        | Ident name, [ v ] -> e := Array_push (name, v)
+        | Ident _, _ -> error st "push takes one argument"
+        | _ -> error st ".push is only supported on named arrays"
+      end
+      | "transfer" -> begin
+        match parse_args st with
+        | [ v ] -> e := Transfer_call (!e, v)
+        | _ -> error st "transfer takes one argument"
+      end
+      | "send" -> begin
+        match parse_args st with
+        | [ v ] -> e := Send (!e, v)
+        | _ -> error st "send takes one argument"
+      end
+      | "call" ->
+        (* addr.call.value(v)() / addr.call.value(v)(arg) / addr.call() *)
+        if accept st L.DOT then begin
+          let sub = expect_ident st in
+          if sub <> "value" then error st "only .call.value(...) is supported";
+          let v =
+            match parse_args st with
+            | [ v ] -> v
+            | _ -> error st "call.value takes one argument"
+          in
+          ignore (parse_args st);
+          e := Call_value (!e, v)
+        end
+        else begin
+          ignore (parse_args st);
+          e := Call_value (!e, Number Word.U256.zero)
+        end
+      | "delegatecall" -> begin
+        match parse_args st with
+        | [ d ] -> e := Delegatecall (!e, d)
+        | _ -> error st "delegatecall takes one argument"
+      end
+      | "gas" ->
+        (* addr.call.gas(g).value(v)() style is folded into call.value *)
+        ignore (parse_args st)
+      | _ -> error st (Printf.sprintf "unsupported member '%s'" member)
+    end
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary st =
+  match (cur st).tok with
+  | L.NUMBER n ->
+    advance st;
+    Number n
+  | L.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st L.RPAREN "expected ')'";
+    e
+  | L.IDENT "true" ->
+    advance st;
+    Bool_lit true
+  | L.IDENT "false" ->
+    advance st;
+    Bool_lit false
+  | L.IDENT "now" ->
+    advance st;
+    Block_timestamp
+  | L.IDENT "msg" ->
+    advance st;
+    expect st L.DOT "expected '.' after msg";
+    let m = expect_ident st in
+    if m = "sender" then Msg_sender
+    else if m = "value" then Msg_value
+    else error st "only msg.sender / msg.value are supported"
+  | L.IDENT "tx" ->
+    advance st;
+    expect st L.DOT "expected '.' after tx";
+    let m = expect_ident st in
+    if m = "origin" then Tx_origin else error st "only tx.origin is supported"
+  | L.IDENT "block" ->
+    advance st;
+    expect st L.DOT "expected '.' after block";
+    let m = expect_ident st in
+    (match m with
+    | "timestamp" -> Block_timestamp
+    | "number" -> Block_number
+    | "difficulty" -> Block_difficulty
+    | "coinbase" -> Block_coinbase
+    | "blockhash" -> Blockhash (List.hd (parse_args st))
+    | _ -> error st "unsupported block member")
+  | L.IDENT "blockhash" ->
+    advance st;
+    (match parse_args st with
+    | [ e ] -> Blockhash e
+    | _ -> error st "blockhash takes one argument")
+  | L.IDENT ("keccak256" | "sha3") ->
+    advance st;
+    Keccak (parse_args st)
+  | L.IDENT "this" ->
+    advance st;
+    Ident "this"
+  | L.IDENT ("address" | "uint256" | "uint" | "uint8") when peek_tok st 1 = L.LPAREN ->
+    (* Type casts are value-preserving here; canonicalisation happens at
+       the ABI / typecheck layer. *)
+    advance st;
+    (match parse_args st with
+    | [ e ] -> e
+    | _ -> error st "cast takes one argument")
+  | L.IDENT name ->
+    advance st;
+    if (cur st).tok = L.LPAREN then Internal_call (name, parse_args st)
+    else Ident name
+  | _ -> error st "expected an expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_lvalue_from_expr st e =
+  match e with
+  | Ident name -> L_var name
+  | Index (name, idx) -> L_index (name, idx)
+  | _ -> error st "left-hand side must be a variable or mapping element"
+
+let rec parse_block st =
+  expect st L.LBRACE "expected '{'";
+  let stmts = ref [] in
+  while (cur st).tok <> L.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  advance st;
+  List.rev !stmts
+
+and parse_stmt st =
+  match (cur st).tok with
+  | L.IDENT t when is_type_name t && (match peek_tok st 1 with L.IDENT _ -> true | _ -> false)
+    ->
+    let ty = parse_type st in
+    let name = expect_ident st in
+    let init = if accept st L.ASSIGN then Some (parse_expr st) else None in
+    expect st L.SEMI "expected ';' after local declaration";
+    Local (ty, name, init)
+  | L.IDENT "if" ->
+    advance st;
+    expect st L.LPAREN "expected '(' after if";
+    let cond = parse_expr st in
+    expect st L.RPAREN "expected ')' after condition";
+    let then_b = parse_block_or_single st in
+    let else_b =
+      if accept_ident st "else" then
+        if (cur st).tok = L.IDENT "if" then [ parse_stmt st ]
+        else parse_block_or_single st
+      else []
+    in
+    If (cond, then_b, else_b)
+  | L.IDENT "while" ->
+    advance st;
+    expect st L.LPAREN "expected '(' after while";
+    let cond = parse_expr st in
+    expect st L.RPAREN "expected ')' after condition";
+    While (cond, parse_block_or_single st)
+  | L.IDENT "for" ->
+    advance st;
+    expect st L.LPAREN "expected '(' after for";
+    let init =
+      if (cur st).tok = L.SEMI then None
+      else
+        Some
+          (match (cur st).tok with
+          | L.IDENT t when is_type_name t ->
+            let ty = parse_type st in
+            let name = expect_ident st in
+            let e = if accept st L.ASSIGN then Some (parse_expr st) else None in
+            Local (ty, name, e)
+          | _ -> parse_simple_stmt st)
+    in
+    expect st L.SEMI "expected ';' in for";
+    let cond = if (cur st).tok = L.SEMI then Bool_lit true else parse_expr st in
+    expect st L.SEMI "expected second ';' in for";
+    let post = if (cur st).tok = L.RPAREN then None else Some (parse_simple_stmt st) in
+    expect st L.RPAREN "expected ')' closing for";
+    For (init, cond, post, parse_block_or_single st)
+  | L.IDENT "require" ->
+    advance st;
+    expect st L.LPAREN "expected '(' after require";
+    let e = parse_expr st in
+    if accept st L.COMMA then ignore (expect_ident st);
+    expect st L.RPAREN "expected ')'";
+    expect st L.SEMI "expected ';'";
+    Require e
+  | L.IDENT "assert" ->
+    advance st;
+    expect st L.LPAREN "expected '(' after assert";
+    let e = parse_expr st in
+    expect st L.RPAREN "expected ')'";
+    expect st L.SEMI "expected ';'";
+    Assert e
+  | L.IDENT "revert" ->
+    advance st;
+    if accept st L.LPAREN then expect st L.RPAREN "expected ')'";
+    expect st L.SEMI "expected ';'";
+    Revert
+  | L.IDENT "return" ->
+    advance st;
+    if accept st L.SEMI then Return None
+    else begin
+      let e = parse_expr st in
+      expect st L.SEMI "expected ';' after return";
+      Return (Some e)
+    end
+  | L.IDENT "emit" ->
+    advance st;
+    let name = expect_ident st in
+    let args = parse_args st in
+    expect st L.SEMI "expected ';' after emit";
+    Emit (name, args)
+  | L.IDENT "selfdestruct" | L.IDENT "suicide" ->
+    advance st;
+    let args = parse_args st in
+    expect st L.SEMI "expected ';'";
+    (match args with
+    | [ e ] -> Selfdestruct e
+    | _ -> error st "selfdestruct takes one argument")
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect st L.SEMI "expected ';'";
+    s
+
+and parse_block_or_single st =
+  if (cur st).tok = L.LBRACE then parse_block st else [ parse_stmt st ]
+
+(* assignment / augmented assignment / bare expression, without the
+   trailing ';' so it can also serve as a for-loop clause. *)
+and parse_simple_stmt st =
+  let e = parse_expr st in
+  match (cur st).tok with
+  | L.ASSIGN ->
+    advance st;
+    Assign (parse_lvalue_from_expr st e, parse_expr st)
+  | L.PLUS_ASSIGN ->
+    advance st;
+    let lv = parse_lvalue_from_expr st e in
+    (* x++ lexes as PLUS_ASSIGN with no following expression *)
+    if (cur st).tok = L.SEMI || (cur st).tok = L.RPAREN then
+      Aug_assign (lv, Add, Number Word.U256.one)
+    else Aug_assign (lv, Add, parse_expr st)
+  | L.MINUS_ASSIGN ->
+    advance st;
+    let lv = parse_lvalue_from_expr st e in
+    if (cur st).tok = L.SEMI || (cur st).tok = L.RPAREN then
+      Aug_assign (lv, Sub, Number Word.U256.one)
+    else Aug_assign (lv, Sub, parse_expr st)
+  | L.STAR_ASSIGN ->
+    advance st;
+    Aug_assign (parse_lvalue_from_expr st e, Mul, parse_expr st)
+  | L.SLASH_ASSIGN ->
+    advance st;
+    Aug_assign (parse_lvalue_from_expr st e, Div, parse_expr st)
+  | _ -> Expr_stmt e
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params st =
+  expect st L.LPAREN "expected '('";
+  let params = ref [] in
+  if (cur st).tok <> L.RPAREN then begin
+    let one () =
+      let ty = parse_type st in
+      (* allow un-named params and memory/calldata qualifiers *)
+      let _ = accept_ident st "memory" in
+      let name =
+        match (cur st).tok with
+        | L.IDENT n when not (is_type_name n) ->
+          advance st;
+          n
+        | _ -> ""
+      in
+      (ty, name)
+    in
+    params := [ one () ];
+    while accept st L.COMMA do
+      params := one () :: !params
+    done
+  end;
+  expect st L.RPAREN "expected ')'";
+  List.rev !params
+
+type attrs = {
+  mutable a_visibility : visibility;
+  mutable a_payable : bool;
+  mutable a_modifiers : string list;
+  mutable a_ret : ty option;
+}
+
+let parse_attrs st =
+  let a = { a_visibility = Public; a_payable = false; a_modifiers = []; a_ret = None } in
+  let continue = ref true in
+  while !continue do
+    match (cur st).tok with
+    | L.IDENT ("public" | "external") ->
+      advance st;
+      a.a_visibility <- Public
+    | L.IDENT ("private" | "internal") ->
+      advance st;
+      a.a_visibility <- Internal
+    | L.IDENT "payable" ->
+      advance st;
+      a.a_payable <- true
+    | L.IDENT ("view" | "pure" | "constant") -> advance st
+    | L.IDENT "returns" ->
+      advance st;
+      expect st L.LPAREN "expected '(' after returns";
+      let ty = parse_type st in
+      (match (cur st).tok with
+      | L.IDENT n when not (is_type_name n) -> advance st
+      | _ -> ());
+      expect st L.RPAREN "expected ')' after return type";
+      a.a_ret <- Some ty
+    | L.IDENT name when (cur st).tok <> L.LBRACE ->
+      advance st;
+      if accept st L.LPAREN then expect st L.RPAREN "expected ')' after modifier";
+      a.a_modifiers <- a.a_modifiers @ [ name ]
+    | _ -> continue := false
+  done;
+  a
+
+let parse_contract st =
+  (* pragma directives are consumed by the lexer *)
+  if not (accept_ident st "contract") then error st "expected 'contract'";
+  let c_name = expect_ident st in
+  (* ignore inheritance clause: contract X is Y, Z *)
+  if accept_ident st "is" then begin
+    ignore (expect_ident st);
+    while accept st L.COMMA do
+      ignore (expect_ident st)
+    done
+  end;
+  expect st L.LBRACE "expected '{'";
+  let state_vars = ref [] and functions = ref [] and modifiers = ref [] in
+  let next_slot = ref 0 in
+  while (cur st).tok <> L.RBRACE do
+    match (cur st).tok with
+    | L.IDENT "function" | L.IDENT "constructor" -> begin
+      let is_ctor_kw = (cur st).tok = L.IDENT "constructor" in
+      advance st;
+      let name =
+        if is_ctor_kw then "constructor"
+        else
+          match (cur st).tok with
+          | L.IDENT n when not (is_type_name n) ->
+            advance st;
+            n
+          | L.LPAREN -> "" (* fallback function *)
+          | _ -> error st "expected function name"
+      in
+      let params = parse_params st in
+      let a = parse_attrs st in
+      let is_constructor = is_ctor_kw || name = c_name in
+      let body = parse_block st in
+      let f =
+        {
+          name = (if is_constructor then "constructor" else name);
+          params;
+          ret = a.a_ret;
+          visibility = a.a_visibility;
+          payable = a.a_payable;
+          modifiers = a.a_modifiers;
+          body;
+          is_constructor;
+        }
+      in
+      functions := f :: !functions
+    end
+    | L.IDENT "modifier" -> begin
+      advance st;
+      let m_name = expect_ident st in
+      if accept st L.LPAREN then expect st L.RPAREN "expected ')'";
+      expect st L.LBRACE "expected '{' opening modifier body";
+      let pre = ref [] and post = ref [] and seen_hole = ref false in
+      while (cur st).tok <> L.RBRACE do
+        if (cur st).tok = L.UNDERSCORE then begin
+          advance st;
+          expect st L.SEMI "expected ';' after '_'";
+          seen_hole := true
+        end
+        else begin
+          let s = parse_stmt st in
+          if !seen_hole then post := s :: !post else pre := s :: !pre
+        end
+      done;
+      advance st;
+      modifiers :=
+        { m_name; m_body_pre = List.rev !pre; m_body_post = List.rev !post } :: !modifiers
+    end
+    | L.IDENT "event" ->
+      (* declaration recorded nowhere; emits compile to LOG generically *)
+      advance st;
+      ignore (expect_ident st);
+      ignore (parse_params st);
+      expect st L.SEMI "expected ';' after event declaration"
+    | L.IDENT t when is_type_name t -> begin
+      let ty = parse_type st in
+      (* optional visibility on state vars *)
+      (match (cur st).tok with
+      | L.IDENT ("public" | "private" | "internal" | "constant") -> advance st
+      | _ -> ());
+      let v_name = expect_ident st in
+      let v_init = if accept st L.ASSIGN then Some (parse_expr st) else None in
+      expect st L.SEMI "expected ';' after state variable";
+      state_vars := { v_name; v_ty = ty; v_init; v_slot = !next_slot } :: !state_vars;
+      incr next_slot
+    end
+    | _ -> error st "expected a contract member"
+  done;
+  advance st;
+  {
+    c_name;
+    state_vars = List.rev !state_vars;
+    modifiers_decls = List.rev !modifiers;
+    functions = List.rev !functions;
+  }
+
+let parse source =
+  let toks = Array.of_list (Lexer.tokenize source) in
+  let st = { toks; i = 0 } in
+  let c = parse_contract st in
+  (match (cur st).tok with
+  | L.EOF -> ()
+  | _ -> error st "trailing tokens after contract");
+  c

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for Minisol. *)
+
+exception Parse_error of string * int * int
+(** message, line, column of the offending token *)
+
+val parse : string -> Ast.contract
+(** [parse source] lexes and parses a single contract. An optional
+    [pragma] line is skipped; old-style constructors ([function Name])
+    are recognised.
+    @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)

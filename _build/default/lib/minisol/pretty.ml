@@ -1,0 +1,127 @@
+open Ast
+
+(* Expressions are printed fully parenthesised, so operator precedence
+   never changes across a round-trip. *)
+let rec expr_to_string = function
+  | Number n -> Word.U256.to_decimal_string n
+  | Bool_lit b -> string_of_bool b
+  | Ident s -> s
+  | Index (m, k) -> Printf.sprintf "%s[%s]" m (expr_to_string k)
+  | Array_length a -> a ^ ".length"
+  | Array_push (a, e) -> Printf.sprintf "%s.push(%s)" a (expr_to_string e)
+  | Unop (Neg, e) -> Printf.sprintf "(-%s)" (expr_to_string e)
+  | Unop (Not, e) -> Printf.sprintf "(!%s)" (expr_to_string e)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+  | Msg_sender -> "msg.sender"
+  | Msg_value -> "msg.value"
+  | Tx_origin -> "tx.origin"
+  | Block_timestamp -> "block.timestamp"
+  | Block_number -> "block.number"
+  | Block_difficulty -> "block.difficulty"
+  | Block_coinbase -> "block.coinbase"
+  | This_balance -> "this.balance"
+  | Balance_of e -> Printf.sprintf "%s.balance" (expr_to_string e)
+  | Keccak es ->
+    Printf.sprintf "keccak256(%s)" (String.concat ", " (List.map expr_to_string es))
+  | Blockhash e -> Printf.sprintf "blockhash(%s)" (expr_to_string e)
+  | Send (t, v) -> Printf.sprintf "%s.send(%s)" (expr_to_string t) (expr_to_string v)
+  | Call_value (t, v) ->
+    Printf.sprintf "%s.call.value(%s)()" (expr_to_string t) (expr_to_string v)
+  | Transfer_call (t, v) ->
+    Printf.sprintf "%s.transfer(%s)" (expr_to_string t) (expr_to_string v)
+  | Delegatecall (t, d) ->
+    Printf.sprintf "%s.delegatecall(%s)" (expr_to_string t) (expr_to_string d)
+  | Internal_call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+
+let lvalue_to_string = function
+  | L_var v -> v
+  | L_index (m, k) -> Printf.sprintf "%s[%s]" m (expr_to_string k)
+
+let rec stmt_to_lines ~indent s =
+  let pad = String.make indent ' ' in
+  let block b = List.concat_map (stmt_to_lines ~indent:(indent + 2)) b in
+  match s with
+  | Local (ty, name, init) ->
+    [ pad ^ ty_to_string ty ^ " " ^ name
+      ^ (match init with Some e -> " = " ^ expr_to_string e | None -> "")
+      ^ ";" ]
+  | Assign (lv, e) ->
+    [ Printf.sprintf "%s%s = %s;" pad (lvalue_to_string lv) (expr_to_string e) ]
+  | Aug_assign (lv, op, e) ->
+    [ Printf.sprintf "%s%s %s= %s;" pad (lvalue_to_string lv) (binop_to_string op)
+        (expr_to_string e) ]
+  | If (c, t, []) ->
+    [ Printf.sprintf "%sif (%s) {" pad (expr_to_string c) ]
+    @ block t @ [ pad ^ "}" ]
+  | If (c, t, e) ->
+    [ Printf.sprintf "%sif (%s) {" pad (expr_to_string c) ]
+    @ block t
+    @ [ pad ^ "} else {" ]
+    @ block e @ [ pad ^ "}" ]
+  | While (c, b) ->
+    [ Printf.sprintf "%swhile (%s) {" pad (expr_to_string c) ]
+    @ block b @ [ pad ^ "}" ]
+  | For (init, cond, post, b) ->
+    let clause_of_stmt st =
+      match stmt_to_lines ~indent:0 st with
+      | [ line ] -> String.sub line 0 (String.length line - 1) (* drop ';' *)
+      | _ -> invalid_arg "Pretty: compound for clause"
+    in
+    [ Printf.sprintf "%sfor (%s; %s; %s) {" pad
+        (match init with Some i -> clause_of_stmt i | None -> "")
+        (expr_to_string cond)
+        (match post with Some p -> clause_of_stmt p | None -> "") ]
+    @ block b @ [ pad ^ "}" ]
+  | Require e -> [ Printf.sprintf "%srequire(%s);" pad (expr_to_string e) ]
+  | Assert e -> [ Printf.sprintf "%sassert(%s);" pad (expr_to_string e) ]
+  | Revert -> [ pad ^ "revert();" ]
+  | Return None -> [ pad ^ "return;" ]
+  | Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_string e) ]
+  | Expr_stmt e -> [ pad ^ expr_to_string e ^ ";" ]
+  | Selfdestruct e -> [ Printf.sprintf "%sselfdestruct(%s);" pad (expr_to_string e) ]
+  | Emit (name, args) ->
+    [ Printf.sprintf "%semit %s(%s);" pad name
+        (String.concat ", " (List.map expr_to_string args)) ]
+
+let func_to_lines (f : func) =
+  let params =
+    String.concat ", "
+      (List.map (fun (ty, name) -> ty_to_string ty ^ " " ^ name) f.params)
+  in
+  let attrs =
+    (match f.visibility with Public -> " public" | Internal -> " internal")
+    ^ (if f.payable then " payable" else "")
+    ^ String.concat "" (List.map (fun m -> " " ^ m) f.modifiers)
+    ^ (match f.ret with Some ty -> " returns (" ^ ty_to_string ty ^ ")" | None -> "")
+  in
+  let header =
+    if f.is_constructor then Printf.sprintf "  constructor(%s)%s {" params attrs
+    else Printf.sprintf "  function %s(%s)%s {" f.name params attrs
+  in
+  (header :: List.concat_map (stmt_to_lines ~indent:4) f.body) @ [ "  }" ]
+
+let modifier_to_lines (m : modifier_decl) =
+  (Printf.sprintf "  modifier %s() {" m.m_name
+  :: List.concat_map (stmt_to_lines ~indent:4) m.m_body_pre)
+  @ [ "    _;" ]
+  @ List.concat_map (stmt_to_lines ~indent:4) m.m_body_post
+  @ [ "  }" ]
+
+let to_source (c : contract) =
+  let lines =
+    [ Printf.sprintf "contract %s {" c.c_name ]
+    @ List.map
+        (fun v ->
+          Printf.sprintf "  %s %s%s;" (ty_to_string v.v_ty) v.v_name
+            (match v.v_init with
+            | Some e -> " = " ^ expr_to_string e
+            | None -> ""))
+        c.state_vars
+    @ List.concat_map modifier_to_lines c.modifiers_decls
+    @ List.concat_map func_to_lines c.functions
+    @ [ "}" ]
+  in
+  String.concat "\n" lines ^ "\n"

@@ -1,0 +1,10 @@
+(** AST pretty-printer: renders a contract back to parseable Minisol
+    source. [Parser.parse (to_source c)] yields an AST equal to [c]
+    (round-trip tests enforce this), which makes the printer usable for
+    corpus normalisation and debugging generated contracts. *)
+
+val expr_to_string : Ast.expr -> string
+
+val stmt_to_lines : indent:int -> Ast.stmt -> string list
+
+val to_source : Ast.contract -> string

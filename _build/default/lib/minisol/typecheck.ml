@@ -1,0 +1,244 @@
+open Ast
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let is_numeric = function
+  | T_uint256 | T_uint8 | T_address -> true
+  | T_bool | T_mapping _ | T_array _ -> false
+
+(* Collect every local declaration in a statement list (block scoping is
+   flattened — the compiler allocates one slot per name per function). *)
+let rec locals_of_stmts acc stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Local (ty, name, _) -> (name, ty) :: acc
+      | If (_, a, b) -> locals_of_stmts (locals_of_stmts acc a) b
+      | While (_, b) -> locals_of_stmts acc b
+      | For (init, _, _, b) ->
+        let acc = match init with Some i -> locals_of_stmts acc [ i ] | None -> acc in
+        locals_of_stmts acc b
+      | Assign _ | Aug_assign _ | Require _ | Assert _ | Revert | Return _
+      | Expr_stmt _ | Selfdestruct _ | Emit _ ->
+        acc)
+    acc stmts
+
+let scope_of contract func =
+  let state = List.map (fun v -> (v.v_name, v.v_ty)) contract.state_vars in
+  let params = List.map (fun (ty, name) -> (name, ty)) func.params in
+  let locals = locals_of_stmts [] func.body in
+  (* innermost first: locals shadow params shadow state *)
+  locals @ params @ state
+
+let rec expr_type contract func e =
+  let lookup name =
+    match List.assoc_opt name (scope_of contract func) with
+    | Some ty -> ty
+    | None -> err "unknown identifier '%s' in %s.%s" name contract.c_name func.name
+  in
+  match e with
+  | Number _ -> T_uint256
+  | Bool_lit _ -> T_bool
+  | Ident "this" -> T_address
+  | Ident name -> lookup name
+  | Index (name, key) -> begin
+    match lookup name with
+    | T_mapping (kt, vt) ->
+      let actual = expr_type contract func key in
+      if not (is_numeric actual && is_numeric kt) && actual <> kt then
+        err "mapping '%s' indexed with %s, expected %s" name (ty_to_string actual)
+          (ty_to_string kt);
+      vt
+    | T_array elem ->
+      if not (is_numeric (expr_type contract func key)) then
+        err "array '%s' indexed with a non-numeric value" name;
+      elem
+    | ty -> err "'%s' is %s, not indexable" name (ty_to_string ty)
+  end
+  | Array_length name -> begin
+    match lookup name with
+    | T_array _ -> T_uint256
+    | ty -> err "'%s' is %s, not an array" name (ty_to_string ty)
+  end
+  | Array_push (name, v) -> begin
+    match lookup name with
+    | T_array elem ->
+      let actual = expr_type contract func v in
+      if (actual = T_bool) <> (elem = T_bool) then
+        err "push of %s into %s[]" (ty_to_string actual) (ty_to_string elem);
+      T_uint256
+    | ty -> err "'%s' is %s, not an array" name (ty_to_string ty)
+  end
+  | Unop (Not, e) ->
+    if expr_type contract func e <> T_bool then err "'!' applied to a non-boolean";
+    T_bool
+  | Unop (Neg, e) ->
+    if not (is_numeric (expr_type contract func e)) then err "unary '-' on non-numeric";
+    T_uint256
+  | Binop (op, a, b) -> begin
+    let ta = expr_type contract func a and tb = expr_type contract func b in
+    match op with
+    | Add | Sub | Mul | Div | Mod ->
+      if not (is_numeric ta && is_numeric tb) then
+        err "arithmetic '%s' on non-numeric operands" (binop_to_string op);
+      T_uint256
+    | Lt | Gt | Le | Ge ->
+      if not (is_numeric ta && is_numeric tb) then
+        err "comparison '%s' on non-numeric operands" (binop_to_string op);
+      T_bool
+    | Eq | Neq ->
+      if (ta = T_bool) <> (tb = T_bool) then err "'==' between boolean and value";
+      T_bool
+    | And | Or ->
+      if ta <> T_bool || tb <> T_bool then
+        err "'%s' requires boolean operands" (binop_to_string op);
+      T_bool
+  end
+  | Msg_sender | Tx_origin | Block_coinbase -> T_address
+  | Msg_value | Block_timestamp | Block_number | Block_difficulty | This_balance ->
+    T_uint256
+  | Balance_of e ->
+    if not (is_numeric (expr_type contract func e)) then err ".balance of non-address";
+    T_uint256
+  | Keccak args ->
+    List.iter (fun a -> ignore (expr_type contract func a)) args;
+    T_uint256
+  | Blockhash e ->
+    ignore (expr_type contract func e);
+    T_uint256
+  | Send (target, v) | Call_value (target, v) ->
+    if not (is_numeric (expr_type contract func target)) then err "send/call on non-address";
+    if not (is_numeric (expr_type contract func v)) then err "send/call value non-numeric";
+    T_bool
+  | Transfer_call (target, v) ->
+    if not (is_numeric (expr_type contract func target)) then err "transfer on non-address";
+    if not (is_numeric (expr_type contract func v)) then err "transfer value non-numeric";
+    T_bool (* void really; only allowed in statement position *)
+  | Delegatecall (target, data) ->
+    if not (is_numeric (expr_type contract func target)) then
+      err "delegatecall on non-address";
+    ignore (expr_type contract func data);
+    T_bool
+  | Internal_call (name, args) -> begin
+    match find_function contract name with
+    | None -> err "call to undeclared function '%s'" name
+    | Some callee ->
+      if callee.is_constructor then err "cannot call the constructor";
+      if List.length args <> List.length callee.params then
+        err "call to '%s': expected %d arguments, got %d" name
+          (List.length callee.params) (List.length args);
+      List.iter (fun a -> ignore (expr_type contract func a)) args;
+      (match callee.ret with Some ty -> ty | None -> T_uint256)
+  end
+
+let check_lvalue contract func = function
+  | L_var name -> begin
+    match List.assoc_opt name (scope_of contract func) with
+    | Some (T_mapping _) -> err "cannot assign to a whole mapping '%s'" name
+    | Some (T_array _) -> err "cannot assign to a whole array '%s'" name
+    | Some _ -> ()
+    | None -> err "assignment to unknown variable '%s'" name
+  end
+  | L_index (name, key) -> ignore (expr_type contract func (Index (name, key)))
+
+let rec check_stmts contract func stmts =
+  List.iter
+    (fun s ->
+      match s with
+      | Local (ty, _, init) -> begin
+        match init with
+        | Some e ->
+          let t = expr_type contract func e in
+          if (ty = T_bool) <> (t = T_bool) then
+            err "initializer type mismatch in %s.%s" contract.c_name func.name
+        | None -> ()
+      end
+      | Assign (lv, e) ->
+        check_lvalue contract func lv;
+        ignore (expr_type contract func e)
+      | Aug_assign (lv, op, e) -> begin
+        check_lvalue contract func lv;
+        (match op with
+        | Add | Sub | Mul | Div | Mod -> ()
+        | _ -> err "augmented assignment with non-arithmetic operator");
+        ignore (expr_type contract func e)
+      end
+      | If (cond, a, b) ->
+        if expr_type contract func cond <> T_bool then err "if condition must be boolean";
+        check_stmts contract func a;
+        check_stmts contract func b
+      | While (cond, b) ->
+        if expr_type contract func cond <> T_bool then err "while condition must be boolean";
+        check_stmts contract func b
+      | For (init, cond, post, b) ->
+        (match init with Some i -> check_stmts contract func [ i ] | None -> ());
+        if expr_type contract func cond <> T_bool then err "for condition must be boolean";
+        (match post with Some p -> check_stmts contract func [ p ] | None -> ());
+        check_stmts contract func b
+      | Require e | Assert e ->
+        if expr_type contract func e <> T_bool then
+          err "require/assert condition must be boolean"
+      | Revert -> ()
+      | Return None ->
+        if func.ret <> None && not func.is_constructor then
+          err "%s.%s must return a value" contract.c_name func.name
+      | Return (Some e) ->
+        if func.ret = None then err "%s.%s returns no value" contract.c_name func.name;
+        ignore (expr_type contract func e)
+      | Expr_stmt e -> ignore (expr_type contract func e)
+      | Selfdestruct e ->
+        if not (is_numeric (expr_type contract func e)) then
+          err "selfdestruct beneficiary must be an address"
+      | Emit (_, args) -> List.iter (fun a -> ignore (expr_type contract func a)) args)
+    stmts
+
+let check_function contract func =
+  List.iter
+    (fun m ->
+      if not (List.exists (fun d -> d.m_name = m) contract.modifiers_decls) then
+        err "%s.%s uses undeclared modifier '%s'" contract.c_name func.name m)
+    func.modifiers;
+  List.iter
+    (fun (ty, name) ->
+      match ty with
+      | T_mapping _ -> err "mapping parameter '%s' is not supported" name
+      | T_array _ -> err "array parameter '%s' is not supported" name
+      | _ -> ())
+    func.params;
+  check_stmts contract func func.body
+
+let check contract =
+  (* duplicate declarations *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v.v_name then err "duplicate state variable '%s'" v.v_name;
+      Hashtbl.add seen v.v_name ())
+    contract.state_vars;
+  let seen_f = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen_f f.name then err "duplicate function '%s'" f.name;
+      Hashtbl.add seen_f f.name ())
+    contract.functions;
+  if List.length (List.filter (fun f -> f.is_constructor) contract.functions) > 1 then
+    err "multiple constructors";
+  List.iter
+    (fun (m : modifier_decl) ->
+      let pseudo =
+        {
+          name = "modifier:" ^ m.m_name;
+          params = [];
+          ret = None;
+          visibility = Internal;
+          payable = false;
+          modifiers = [];
+          body = m.m_body_pre @ m.m_body_post;
+          is_constructor = false;
+        }
+      in
+      check_stmts contract pseudo pseudo.body)
+    contract.modifiers_decls;
+  List.iter (check_function contract) contract.functions

@@ -1,0 +1,20 @@
+(** Static checks over a parsed contract.
+
+    Deliberately permissive in the style of solc 0.4 (uints of different
+    widths unify; addresses convert to uint256) but strict about the
+    things the compiler and the fuzzer rely on: every identifier resolves,
+    mapping accesses go to declared mappings, internal calls match a
+    declared internal function's arity, modifiers exist, and value
+    expressions are not used where booleans are required (and vice
+    versa). *)
+
+exception Type_error of string
+
+val check : Ast.contract -> unit
+(** @raise Type_error describing the first problem found. *)
+
+val expr_type : Ast.contract -> Ast.func -> Ast.expr -> Ast.ty
+(** Type of an expression in the scope of [func] (params, locals of the
+    whole body, state variables). Booleans are [T_bool]; everything
+    numeric is [T_uint256] unless declared narrower.
+    @raise Type_error on unresolvable expressions. *)

@@ -1,0 +1,1 @@
+lib/mufuzz/accounts.ml: Evm List Stdlib Word

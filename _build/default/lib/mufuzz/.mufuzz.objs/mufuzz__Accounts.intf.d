@@ -1,0 +1,1 @@
+lib/mufuzz/accounts.mli: Evm

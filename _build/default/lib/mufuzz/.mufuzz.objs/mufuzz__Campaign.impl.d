@@ -1,0 +1,1 @@
+lib/mufuzz/campaign.ml: Abi Analysis Array Config Coverage Energy Evm Executor Hashtbl List Logs Mask Minisol Mutation Option Oracles Report Seed State_cache Stdlib String Unix Util Word

@@ -1,0 +1,1 @@
+lib/mufuzz/campaign.mli: Config Minisol Report

@@ -1,0 +1,1 @@
+lib/mufuzz/config.ml: Analysis Seed

@@ -1,0 +1,1 @@
+lib/mufuzz/config.mli: Analysis Seed

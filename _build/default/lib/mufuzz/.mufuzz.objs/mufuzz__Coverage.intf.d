@@ -1,0 +1,1 @@
+lib/mufuzz/coverage.mli: Evm

@@ -1,0 +1,1 @@
+lib/mufuzz/energy.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/mufuzz/executor.ml: Abi Accounts Array Evm Executor_types List Minisol Seed State_cache Stdlib Word

@@ -1,0 +1,1 @@
+lib/mufuzz/executor.mli: Evm Executor_types Minisol Seed State_cache

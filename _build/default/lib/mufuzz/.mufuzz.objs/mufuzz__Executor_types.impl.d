@@ -1,0 +1,1 @@
+lib/mufuzz/executor_types.ml: Evm

@@ -1,0 +1,1 @@
+lib/mufuzz/mask.ml: Array List Mutation Stdlib String Util

@@ -1,0 +1,1 @@
+lib/mufuzz/mask.mli: Mutation Util

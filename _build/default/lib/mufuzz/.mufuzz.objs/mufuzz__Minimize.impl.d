@@ -1,0 +1,1 @@
+lib/mufuzz/minimize.ml: Abi Array Bytes Executor List Oracles Seed Word

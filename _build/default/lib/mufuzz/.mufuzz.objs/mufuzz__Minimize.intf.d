@@ -1,0 +1,1 @@
+lib/mufuzz/minimize.mli: Minisol Oracles Seed

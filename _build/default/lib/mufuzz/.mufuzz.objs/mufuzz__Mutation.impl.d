@@ -1,0 +1,1 @@
+lib/mufuzz/mutation.ml: Array Bytes Char Stdlib String Util Word

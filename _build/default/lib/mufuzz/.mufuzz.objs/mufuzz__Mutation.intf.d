@@ -1,0 +1,1 @@
+lib/mufuzz/mutation.mli: Util Word

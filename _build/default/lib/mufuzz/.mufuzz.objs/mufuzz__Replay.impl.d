@@ -1,0 +1,1 @@
+lib/mufuzz/replay.ml: Abi List Printf Seed String Util

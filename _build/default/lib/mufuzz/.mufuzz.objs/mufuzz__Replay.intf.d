@@ -1,0 +1,1 @@
+lib/mufuzz/replay.mli: Abi Seed

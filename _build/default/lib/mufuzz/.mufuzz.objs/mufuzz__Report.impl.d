@@ -1,0 +1,1 @@
+lib/mufuzz/report.ml: Buffer Format List Oracles Printf Seed Stdlib String

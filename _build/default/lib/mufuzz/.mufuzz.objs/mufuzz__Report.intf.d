@@ -1,0 +1,1 @@
+lib/mufuzz/report.mli: Format Oracles Seed

@@ -1,0 +1,1 @@
+lib/mufuzz/seed.ml: Abi Accounts Array Bytes Format Lazy List Printf Stdlib String Util Word

@@ -1,0 +1,1 @@
+lib/mufuzz/seed.mli: Abi Format Util Word

@@ -1,0 +1,1 @@
+lib/mufuzz/state_cache.ml: Abi Char Crypto Evm Executor_types Hashtbl Seed String

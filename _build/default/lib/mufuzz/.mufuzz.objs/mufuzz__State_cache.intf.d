@@ -1,0 +1,1 @@
+lib/mufuzz/state_cache.mli: Evm Executor_types Seed

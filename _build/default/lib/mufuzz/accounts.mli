@@ -1,0 +1,18 @@
+(** The deterministic account universe of a campaign: a deployer, the
+    simulated reentrancy attacker, a pool of funded senders and the
+    contract under test. Centralised so that seed generation can bias
+    address-typed arguments toward addresses that actually exist. *)
+
+val deployer : Evm.State.address
+
+val attacker : Evm.State.address
+(** Same as {!Evm.Interp.attacker_address}. *)
+
+val contract_address : Evm.State.address
+
+val sender_pool : int -> Evm.State.address list
+(** [n] senders; index 0 is the attacker. *)
+
+val address_dictionary : int -> Evm.State.address list
+(** All addresses worth trying as an [address] argument, for a pool of
+    the given size: senders, deployer, contract, zero. *)

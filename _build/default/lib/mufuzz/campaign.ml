@@ -1,0 +1,413 @@
+module U = Word.U256
+
+let log_src = Logs.Src.create "mufuzz.campaign" ~doc:"MuFuzz campaign events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type entry = {
+  seed : Seed.t;
+  path : (int * bool) list;
+  nested_hits : (int * bool) list;
+  frontier_dists : ((int * bool) * float) list;
+  masks : (int, Mask.t) Hashtbl.t;  (* tx index -> cached mask *)
+}
+
+let derive_sequence (contract : Minisol.Contract.t) =
+  Analysis.Sequence.derive (Analysis.Statevars.analyze contract.ast)
+
+(* Branches whose within-transaction ordinal is >= 2 — the paper's
+   "nested branch" (at least two enclosing conditional statements). *)
+let nested_hits_of_run (run : Executor.run) =
+  List.concat_map
+    (fun (r : Executor.tx_result) ->
+      let _, acc =
+        List.fold_left
+          (fun (ord, acc) ev ->
+            match ev with
+            | Evm.Trace.Branch { pc; taken; _ } ->
+              (ord + 1, if ord + 1 >= 2 then (pc, taken) :: acc else acc)
+            | _ -> (ord, acc))
+          (0, []) r.trace.events
+      in
+      acc)
+    run.tx_results
+  |> List.sort_uniq compare
+
+let path_of_run (run : Executor.run) =
+  List.concat_map
+    (fun (r : Executor.tx_result) -> Evm.Trace.branches r.trace)
+    run.tx_results
+  |> List.sort_uniq compare
+
+let frontier_dists_of_run coverage (run : Executor.run) =
+  let frontier = Coverage.uncovered_frontier coverage in
+  List.filter_map
+    (fun br ->
+      let best =
+        List.fold_left
+          (fun acc (r : Executor.tx_result) ->
+            match Coverage.trace_min_distance r.trace br with
+            | Some d -> (match acc with Some a when a <= d -> acc | _ -> Some d)
+            | None -> acc)
+          None run.tx_results
+      in
+      Option.map (fun d -> (br, d)) best)
+    frontier
+
+let run ?(config = Config.default) (contract : Minisol.Contract.t) =
+  let start_time = Unix.gettimeofday () in
+  let rng = Util.Rng.create config.rng_seed in
+  let info = Analysis.Statevars.analyze contract.ast in
+  let cfg = Analysis.Cfg.build contract.bytecode in
+  (* contract-specific magic numbers for the mutation dictionary *)
+  let dict = Array.of_list (Evm.Bytecode.push_constants contract.bytecode) in
+  let static = Oracles.Oracle.static_info_of contract in
+  let abi = contract.abi in
+  let coverage = Coverage.create () in
+  let findings_tbl : (Oracles.Oracle.bug_class * int, unit) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let findings = ref [] in
+  let witnesses = ref [] in
+  let witness_seeds = ref [] in
+  let execs = ref 0 in
+  let checkpoints = ref [] in
+  let weight_table : (int * bool, float) Hashtbl.t option ref =
+    ref (if config.dynamic_energy then Some (Hashtbl.create 64) else None)
+  in
+  let budget_left () = !execs < config.max_executions in
+  let cache = if config.state_caching then Some (State_cache.create ()) else None in
+  (* Execute a seed, fold its feedback into every table, return the run
+     plus whether it covered a new branch side. *)
+  let exec_and_observe seed =
+    let run =
+      Executor.run_seed ~contract ~gas:config.gas_per_tx ~n_senders:config.n_senders
+        ~attacker:config.attacker_enabled ?cache seed
+    in
+    incr execs;
+    let fresh =
+      List.fold_left
+        (fun fresh (r : Executor.tx_result) -> Coverage.record coverage r.trace || fresh)
+        false run.tx_results
+    in
+    if fresh then
+      Log.debug (fun m ->
+          m "exec %d: coverage %d sides" !execs (Coverage.covered_count coverage));
+    let executions =
+      List.map (fun (r : Executor.tx_result) -> (r.tx_index, r.success, r.trace))
+        run.tx_results
+    in
+    List.iter
+      (fun (f : Oracles.Oracle.finding) ->
+        let key = (f.cls, f.pc) in
+        if not (Hashtbl.mem findings_tbl key) then begin
+          Hashtbl.replace findings_tbl key ();
+          findings := f :: !findings;
+          witnesses := (f, Seed.show seed) :: !witnesses;
+          witness_seeds := (f, seed) :: !witness_seeds;
+          Log.info (fun m ->
+              m "exec %d: new finding %a" !execs Oracles.Oracle.pp_finding f)
+        end)
+      (Oracles.Oracle.inspect_campaign ~static ~received_value:run.received_value
+         executions);
+    (* pre-fuzz / continuous branch weighting (Algorithm 3) *)
+    (match !weight_table with
+    | Some tbl when fresh ->
+      List.iter
+        (fun (r : Executor.tx_result) ->
+          List.iter
+            (fun (wb : Analysis.Prefix.weighted_branch) ->
+              let key = (wb.pc, wb.taken) in
+              match Hashtbl.find_opt tbl key with
+              | Some w when w >= wb.weight -> ()
+              | _ -> Hashtbl.replace tbl key wb.weight)
+            (Analysis.Prefix.analyze_trace ~params:config.prefix_params cfg r.trace))
+        run.tx_results
+    | _ -> ());
+    checkpoints :=
+      { Report.execs = !execs; covered = Coverage.covered_count coverage }
+      :: !checkpoints;
+    (run, fresh)
+  in
+  let mk_entry seed run =
+    {
+      seed;
+      path = path_of_run run;
+      nested_hits = nested_hits_of_run run;
+      frontier_dists = frontier_dists_of_run coverage run;
+      masks = Hashtbl.create 4;
+    }
+  in
+  (* ---------------- initial seeds ---------------- *)
+  let base_sequence () =
+    match config.sequence_mode with
+    | Config.Seq_random -> Analysis.Sequence.random_sequence rng info
+    | Config.Seq_dataflow -> Analysis.Sequence.derive_base info
+    | Config.Seq_dataflow_repeat -> Analysis.Sequence.derive info
+  in
+  let new_seed () =
+    let seed =
+      Seed.of_sequence ~dict rng ~n_senders:config.n_senders abi
+        ("constructor" :: base_sequence ())
+    in
+    if not config.prolongation then seed
+    else begin
+      (* IR-Fuzz-style prolongation: stretch the tail with extra calls *)
+      let fns = Minisol.Contract.callable_functions contract in
+      if fns = [] then seed
+      else
+        let extra =
+          List.init (1 + Util.Rng.int rng 3) (fun _ ->
+              Seed.random_tx ~dict rng ~n_senders:config.n_senders
+                (Util.Rng.choose_list rng fns))
+        in
+        { Seed.txs = seed.txs @ extra }
+    end
+  in
+  let queue : entry array ref = ref [||] in
+  let queue_add e =
+    let cap = 128 in
+    let q = Array.to_list !queue @ [ e ] in
+    let q = if List.length q > cap then List.tl q else q in
+    queue := Array.of_list q
+  in
+  let best_for_branch : (int * bool, float * entry) Hashtbl.t = Hashtbl.create 64 in
+  let note_entry e =
+    List.iter
+      (fun (br, d) ->
+        match Hashtbl.find_opt best_for_branch br with
+        | Some (best, _) when best <= d -> ()
+        | _ -> Hashtbl.replace best_for_branch br (d, e))
+      e.frontier_dists
+  in
+  (* replayed corpus first, then freshly generated seeds *)
+  List.iter
+    (fun seed ->
+      if budget_left () then begin
+        let run, _fresh = exec_and_observe seed in
+        let e = mk_entry seed run in
+        queue_add e;
+        note_entry e
+      end)
+    config.initial_corpus;
+  for _ = 1 to config.initial_seeds do
+    if budget_left () then begin
+      let seed = new_seed () in
+      let run, _fresh = exec_and_observe seed in
+      let e = mk_entry seed run in
+      queue_add e;
+      note_entry e
+    end
+  done;
+  (* ---------------- mask probing ---------------- *)
+  let mask_probes_used = ref 0 in
+  let mask_budget_left () =
+    float_of_int !mask_probes_used
+    < config.mask_budget_fraction *. float_of_int config.max_executions
+  in
+  let get_mask (e : entry) tx_index =
+    match Hashtbl.find_opt e.masks tx_index with
+    | Some m -> Some m
+    | None when not (mask_budget_left ()) -> None
+    | None ->
+      let tx = List.nth e.seed.txs tx_index in
+      let baseline_nested = e.nested_hits in
+      let baseline_dists = e.frontier_dists in
+      if baseline_nested = [] && baseline_dists = [] then None
+      else begin
+        let probe mutant_stream =
+          if not (budget_left ()) then
+            { Mask.hits_nested = false; distance_decreased = false }
+          else begin
+            let probe_seed =
+              Seed.with_tx e.seed tx_index { tx with stream = mutant_stream }
+            in
+            incr mask_probes_used;
+            let run, _ = exec_and_observe probe_seed in
+            let hits_nested =
+              baseline_nested <> []
+              && List.exists
+                   (fun br -> List.mem br baseline_nested)
+                   (nested_hits_of_run run)
+            in
+            let distance_decreased =
+              List.exists
+                (fun (br, base_d) ->
+                  List.exists
+                    (fun (r : Executor.tx_result) ->
+                      match Coverage.trace_min_distance r.trace br with
+                      | Some d -> d < base_d
+                      | None -> false)
+                    run.tx_results)
+                baseline_dists
+            in
+            { Mask.hits_nested; distance_decreased }
+          end
+        in
+        let m =
+          Mask.compute rng ~stride:config.mask_stride
+            ~max_probes:config.mask_max_probes ~probe tx.stream
+        in
+        if Hashtbl.length e.masks < config.mask_cache_max then
+          Hashtbl.replace e.masks tx_index m;
+        Some m
+      end
+  in
+  (* ---------------- sequence-level mutation (§IV-A, continuing) ------- *)
+  let mutate_sequence (seed : Seed.t) =
+    match seed.txs with
+    | [] | [ _ ] -> seed
+    | ctor :: rest -> begin
+      let rest = Array.of_list rest in
+      let n = Array.length rest in
+      (match
+         (* RAW-targeted duplication and sequence extension are the §IV-A
+            moves of the full system. Baselines mutate the ORDER of their
+            sequences (the paper's §III-B point is precisely that they
+            cannot make a transaction run twice); IR-Fuzz's extension
+            happens at seed creation via prolongation instead. *)
+         if config.sequence_mode = Config.Seq_dataflow_repeat then Util.Rng.int rng 3
+         else 1
+       with
+      | 0 ->
+        (* duplicate a transaction whose function the RAW rule marks as
+           repeatable (fall back to any) *)
+        let candidates =
+          Array.to_list rest
+          |> List.filter (fun (tx : Seed.tx) ->
+                 match Analysis.Statevars.info info tx.fn.Abi.name with
+                 | Some fi -> Analysis.Statevars.should_repeat info fi
+                 | None -> false)
+        in
+        let tx =
+          match candidates with
+          | [] -> rest.(Util.Rng.int rng n)
+          | l -> Util.Rng.choose_list rng l
+        in
+        let pos = Util.Rng.int rng (n + 1) in
+        let l = Array.to_list rest in
+        let before = List.filteri (fun i _ -> i < pos) l in
+        let after = List.filteri (fun i _ -> i >= pos) l in
+        { Seed.txs = ctor :: (before @ [ tx ] @ after) }
+      | 1 when n >= 2 ->
+        let i = Util.Rng.int rng n and j = Util.Rng.int rng n in
+        let tmp = rest.(i) in
+        rest.(i) <- rest.(j);
+        rest.(j) <- tmp;
+        { Seed.txs = ctor :: Array.to_list rest }
+      | _ ->
+        (* append a random callable *)
+        let fns = Minisol.Contract.callable_functions contract in
+        if fns = [] then seed
+        else
+          let fn = Util.Rng.choose_list rng fns in
+          { Seed.txs = ctor :: (Array.to_list rest
+                                @ [ Seed.random_tx ~dict rng ~n_senders:config.n_senders fn ]) })
+    end
+  in
+  (* ---------------- main loop ---------------- *)
+  (* black-box mode: no feedback, fresh random seeds until the budget ends *)
+  if config.blackbox then
+    while budget_left () do
+      ignore (exec_and_observe (new_seed ()))
+    done;
+  let cursor = ref 0 in
+  while budget_left () && Array.length !queue > 0 do
+    (* Branch-distance-feedback selection (Algorithm 1 lines 8-13): most
+       picks go to the seed closest to some still-uncovered branch. *)
+    let entry =
+      let frontier =
+        Hashtbl.fold
+          (fun br (d, e) acc ->
+            if Coverage.is_covered coverage br then acc else (br, d, e) :: acc)
+          best_for_branch []
+      in
+      if config.distance_feedback && frontier <> [] && Util.Rng.float rng < 0.7 then
+        let _, _, e = Util.Rng.choose_list rng frontier in
+        e
+      else begin
+        let q = !queue in
+        let e = q.(!cursor mod Array.length q) in
+        incr cursor;
+        e
+      end
+    in
+    let energy =
+      Energy.assign ~dynamic:config.dynamic_energy ~base:config.base_energy
+        ~max_energy:config.max_energy
+        ~weights:!weight_table ~path:entry.path
+    in
+    let remaining = ref energy in
+    while !remaining > 0 && budget_left () do
+      let ntx = List.length entry.seed.txs in
+      let tx_index = Util.Rng.int rng ntx in
+      let tx = List.nth entry.seed.txs tx_index in
+      let stream = tx.Seed.stream in
+      let mask =
+        if config.mask_guided && (entry.nested_hits <> [] || entry.frontier_dists <> [])
+        then get_mask entry tx_index
+        else None
+      in
+      let pos = Util.Rng.int rng (Stdlib.max 1 (String.length stream)) in
+      let m = Mutation.random rng ~max_n:8 in
+      let allowed =
+        match mask with
+        | Some msk -> Mask.allows msk m.Mutation.kind ~pos
+        | None -> true
+      in
+      if not allowed then remaining := !remaining - 1
+      else begin
+        let mutated = Mutation.apply ~dict rng m ~pos stream in
+        let candidate = Seed.with_tx entry.seed tx_index { tx with stream = mutated } in
+        let candidate =
+          if Util.Rng.float rng < config.sequence_mutation_prob then
+            mutate_sequence candidate
+          else candidate
+        in
+        if budget_left () then begin
+          let run, fresh = exec_and_observe candidate in
+          if fresh then begin
+            let e = mk_entry candidate run in
+            queue_add e;
+            note_entry e
+          end
+          else begin
+            (* Algorithm 1 lines 8-13: a seed that gets closer to an
+               uncovered branch joins the selection pool even without new
+               coverage — this is what lets mutation hill-climb strict
+               conditions. *)
+            let dists = frontier_dists_of_run coverage run in
+            let improves =
+              List.exists
+                (fun (br, d) ->
+                  match Hashtbl.find_opt best_for_branch br with
+                  | Some (best, _) -> d < best
+                  | None -> true)
+                dists
+            in
+            if improves then
+              note_entry
+                { seed = candidate; path = path_of_run run;
+                  nested_hits = nested_hits_of_run run;
+                  frontier_dists = dists; masks = Hashtbl.create 4 }
+          end;
+          remaining := Energy.update !remaining ~new_coverage:fresh
+        end
+        else remaining := 0
+      end
+    done
+  done;
+  {
+    Report.contract_name = contract.name;
+    executions = !execs;
+    covered_branches = Coverage.covered_count coverage;
+    covered = List.sort compare (Coverage.covered coverage);
+    total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points cfg);
+    findings = Oracles.Oracle.dedup (List.rev !findings);
+    witnesses = List.rev !witnesses;
+    witness_seeds = List.rev !witness_seeds;
+    over_time = List.rev !checkpoints;
+    seeds_in_queue = Array.length !queue;
+    corpus = Array.to_list !queue |> List.map (fun e -> e.seed);
+    wall_seconds = Unix.gettimeofday () -. start_time;
+  }

@@ -1,0 +1,14 @@
+(** The MuFuzz campaign: Algorithm 1's seed selection and mutation loop,
+    wired to the sequence-aware derivation of §IV-A, the mask guidance of
+    §IV-B and the dynamic energy adjustment of §IV-C.
+
+    A campaign is fully deterministic given [Config.rng_seed]: every
+    random draw flows from one SplitMix64 stream, and the EVM substrate
+    is itself deterministic. *)
+
+val run : ?config:Config.t -> Minisol.Contract.t -> Report.t
+(** Fuzz one contract until the execution budget is exhausted. *)
+
+val derive_sequence : Minisol.Contract.t -> string list
+(** The §IV-A sequence for a contract (constructor excluded), exposed
+    for examples and tests. *)

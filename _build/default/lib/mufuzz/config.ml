@@ -1,0 +1,58 @@
+type sequence_mode = Seq_random | Seq_dataflow | Seq_dataflow_repeat
+
+type t = {
+  rng_seed : int64;
+  max_executions : int;
+  gas_per_tx : int;
+  n_senders : int;
+  initial_seeds : int;
+  base_energy : int;
+  max_energy : int;
+  sequence_mode : sequence_mode;
+  mask_guided : bool;
+  dynamic_energy : bool;
+  distance_feedback : bool;
+  prolongation : bool;
+  blackbox : bool;
+  mask_stride : int;
+  mask_cache_max : int;
+  mask_max_probes : int;
+  mask_budget_fraction : float;
+  sequence_mutation_prob : float;
+  attacker_enabled : bool;
+  state_caching : bool;
+  initial_corpus : Seed.t list;
+  prefix_params : Analysis.Prefix.params;
+}
+
+let default =
+  {
+    rng_seed = 42L;
+    max_executions = 2000;
+    gas_per_tx = 1_000_000;
+    n_senders = 3;
+    initial_seeds = 8;
+    base_energy = 20;
+    max_energy = 120;
+    sequence_mode = Seq_dataflow_repeat;
+    mask_guided = true;
+    dynamic_energy = true;
+    distance_feedback = true;
+    prolongation = false;
+    blackbox = false;
+    mask_stride = 8;
+    mask_cache_max = 32;
+    mask_max_probes = 24;
+    mask_budget_fraction = 0.15;
+    sequence_mutation_prob = 0.15;
+    attacker_enabled = true;
+    state_caching = true;
+    initial_corpus = [];
+    prefix_params = Analysis.Prefix.default_params;
+  }
+
+let with_budget t budget = { t with max_executions = budget }
+
+let ablation_no_sequence t = { t with sequence_mode = Seq_random }
+let ablation_no_mask t = { t with mask_guided = false }
+let ablation_no_energy t = { t with dynamic_energy = false }

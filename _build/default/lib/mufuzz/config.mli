@@ -1,0 +1,70 @@
+(** Campaign configuration.
+
+    The three feature switches correspond exactly to the paper's ablation
+    (Fig. 7): disabling [sequence_aware] falls back to random transaction
+    ordering, disabling [mask_guided] falls back to unrestricted random
+    byte mutation, disabling [dynamic_energy] uses a flat per-seed energy
+    (the sFuzz default the paper substitutes in). *)
+
+(** How initial transaction orderings are produced. *)
+type sequence_mode =
+  | Seq_random  (** shuffled order (sFuzz) *)
+  | Seq_dataflow  (** write->read topological order (Smartian/ConFuzzius) *)
+  | Seq_dataflow_repeat
+      (** dataflow order plus the RAW repetition rule — full §IV-A *)
+
+type t = {
+  rng_seed : int64;  (** all campaign randomness derives from this *)
+  max_executions : int;  (** transaction-sequence executions budget *)
+  gas_per_tx : int;
+  n_senders : int;  (** size of the sender account pool *)
+  initial_seeds : int;  (** seeds generated before the main loop *)
+  base_energy : int;  (** mutations per selected seed *)
+  max_energy : int;  (** cap after dynamic weighting *)
+  (* feature switches (ablation study, Fig. 7, and baseline policies) *)
+  sequence_mode : sequence_mode;
+  mask_guided : bool;
+  dynamic_energy : bool;
+  distance_feedback : bool;
+      (** branch-distance seed selection (sFuzz-style); disabled it falls
+          back to round-robin *)
+  prolongation : bool;
+      (** IR-Fuzz-style tail prolongation: initial seeds get extra random
+          transactions appended *)
+  blackbox : bool;
+      (** ContractFuzzer-style black-box mode: every round generates a
+          fresh random seed; no queue, no feedback (coverage is still
+          recorded for reporting) *)
+  (* mask computation cost controls *)
+  mask_stride : int;
+      (** compute the mask every [stride] positions (1 = Algorithm 2
+          verbatim); larger strides trade fidelity for speed *)
+  mask_cache_max : int;  (** number of seeds holding a cached mask *)
+  mask_max_probes : int;  (** execution cap for one Algorithm-2 run *)
+  mask_budget_fraction : float;
+      (** share of the campaign budget mask probing may consume in total;
+          beyond it seeds mutate unmasked (keeps Algorithm 2 from starving
+          exploration under small budgets) *)
+  (* runtime sequence exploration *)
+  sequence_mutation_prob : float;
+      (** probability a selected seed also gets a sequence-level mutation
+          (extend / duplicate / swap), §IV-A's continuing exploration *)
+  attacker_enabled : bool;  (** install the reentrancy attacker account *)
+  state_caching : bool;
+      (** resume sequences from cached intermediate states (the paper's
+          §VI future-work optimisation); semantically transparent *)
+  initial_corpus : Seed.t list;
+      (** seeds executed and enqueued before generation starts (corpus
+          resume / replay); empty by default *)
+  prefix_params : Analysis.Prefix.params;
+}
+
+val default : t
+(** All three components enabled, deterministic seed 42, a budget suited
+    to unit-scale contracts (2000 executions). *)
+
+val with_budget : t -> int -> t
+
+val ablation_no_sequence : t -> t
+val ablation_no_mask : t -> t
+val ablation_no_energy : t -> t

@@ -1,0 +1,64 @@
+type branch = int * bool
+
+type t = {
+  hits : (branch, int) Hashtbl.t;
+  (* best distance toward an uncovered side, keyed by that side *)
+  dists : (branch, float) Hashtbl.t;
+}
+
+let create () = { hits = Hashtbl.create 256; dists = Hashtbl.create 256 }
+
+let is_covered t br = Hashtbl.mem t.hits br
+
+let record t (trace : Evm.Trace.t) =
+  let fresh = ref false in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Evm.Trace.Branch { pc; taken; dist_to_flip; _ } ->
+        let br = (pc, taken) in
+        (match Hashtbl.find_opt t.hits br with
+        | Some n -> Hashtbl.replace t.hits br (n + 1)
+        | None ->
+          Hashtbl.replace t.hits br 1;
+          fresh := true;
+          Hashtbl.remove t.dists br);
+        let flip = (pc, not taken) in
+        if not (Hashtbl.mem t.hits flip) then begin
+          match Hashtbl.find_opt t.dists flip with
+          | Some d when d <= dist_to_flip -> ()
+          | _ -> Hashtbl.replace t.dists flip dist_to_flip
+        end
+      | _ -> ())
+    trace.events;
+  !fresh
+
+let covered_count t = Hashtbl.length t.hits
+
+let covered t = Hashtbl.fold (fun br _ acc -> br :: acc) t.hits []
+
+let uncovered_frontier t =
+  Hashtbl.fold
+    (fun (pc, taken) _ acc ->
+      let flip = (pc, not taken) in
+      if Hashtbl.mem t.hits flip then acc else flip :: acc)
+    t.hits []
+  |> List.sort_uniq compare
+
+let best_distance t br = Hashtbl.find_opt t.dists br
+
+let trace_min_distance (trace : Evm.Trace.t) (pc, want_side) =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Evm.Trace.Branch { pc = p; taken; dist_to_flip; _ }
+        when p = pc && taken = not want_side -> begin
+        match acc with
+        | Some d when d <= dist_to_flip -> acc
+        | _ -> Some dist_to_flip
+      end
+      | _ -> acc)
+    None trace.events
+
+let total_sides_known t =
+  covered_count t + List.length (uncovered_frontier t)

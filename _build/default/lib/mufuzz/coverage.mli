@@ -1,0 +1,37 @@
+(** Branch coverage and branch-distance bookkeeping.
+
+    A branch identity is [(pc, taken)] — a basic-block transition out of a
+    [JUMPI], the unit the paper's coverage numbers count. For every branch
+    side not yet covered, the table remembers the smallest distance any
+    execution has come to flipping onto it (the sFuzz feedback of
+    §IV-B). *)
+
+type branch = int * bool
+
+type t
+
+val create : unit -> t
+
+val record : t -> Evm.Trace.t -> bool
+(** Folds one trace in; returns [true] iff a new branch side was covered. *)
+
+val is_covered : t -> branch -> bool
+
+val covered_count : t -> int
+
+val covered : t -> branch list
+
+val uncovered_frontier : t -> branch list
+(** Branch sides whose opposite side has been executed but which remain
+    uncovered — the reachable-but-unexplored frontier that seed selection
+    targets. *)
+
+val best_distance : t -> branch -> float option
+(** Smallest flip distance ever observed toward this uncovered side. *)
+
+val trace_min_distance : Evm.Trace.t -> branch -> float option
+(** Distance of one execution to the given uncovered side: min over the
+    trace's visits to that [pc] on the opposite side. *)
+
+val total_sides_known : t -> int
+(** Number of distinct (pc, side) identities known = covered + frontier. *)

@@ -1,0 +1,110 @@
+module U = Word.U256
+
+let deployer = Accounts.deployer
+
+(* The first pool slot is the simulated reentrancy attacker, so seeds
+   naturally exercise the callback path when it is chosen as a sender. *)
+let sender_pool = Accounts.sender_pool
+
+let contract_address = Accounts.contract_address
+
+(* Enough to fund any plausible sequence of value transfers without a
+   sender ever running dry. *)
+let initial_balance = U.shift_left U.one 200
+
+type tx_result = Executor_types.tx_result = {
+  tx_index : int;
+  fn_name : string;
+  success : bool;
+  trace : Evm.Trace.t;
+}
+
+type run = {
+  tx_results : tx_result list;
+  final_state : Evm.State.t;
+  received_value : bool;
+}
+
+let run_seed ~contract ~gas ~n_senders ~attacker ?cache (seed : Seed.t) =
+  let senders = Array.of_list (sender_pool n_senders) in
+  let initial_state =
+    let st = Minisol.Contract.deploy Evm.State.empty contract_address contract in
+    let st = Evm.State.credit st deployer initial_balance in
+    Array.fold_left (fun st s -> Evm.State.credit st s initial_balance) st senders
+  in
+  let config =
+    if attacker then Evm.Interp.default_config
+    else { Evm.Interp.default_config with attacker = None }
+  in
+  let txs = Array.of_list seed.txs in
+  let n = Array.length txs in
+  (* chained prefix digests: digests.(i) identifies txs.(0 .. i-1) *)
+  let digests = Array.make (n + 1) "" in
+  (match cache with
+  | Some _ ->
+    for i = 1 to n do
+      digests.(i) <- State_cache.digest_tx digests.(i - 1) txs.(i - 1)
+    done
+  | None -> ());
+  (* resume from the deepest cached prefix *)
+  let start, state0, block0, prefix_results, rv0 =
+    match cache with
+    | None -> (0, initial_state, Evm.Interp.default_block, [], false)
+    | Some c ->
+      let rec probe k =
+        if k = 0 then (0, initial_state, Evm.Interp.default_block, [], false)
+        else
+          match State_cache.find c digests.(k) with
+          | Some (s : State_cache.snapshot) ->
+            (k, s.state, s.block, s.tx_results, s.received_value)
+          | None -> probe (k - 1)
+      in
+      probe n
+  in
+  let state = ref state0 in
+  let block = ref block0 in
+  let received_value = ref rv0 in
+  let results_rev = ref (List.rev prefix_results) in
+  for i = start to n - 1 do
+    let tx = txs.(i) in
+    let caller =
+      if tx.fn.Abi.is_constructor then deployer
+      else senders.(tx.sender mod Stdlib.max 1 (Array.length senders))
+    in
+    let value = Seed.tx_value tx in
+    let msg =
+      {
+        Evm.Interp.caller;
+        origin = caller;
+        callee = contract_address;
+        value;
+        data = Seed.tx_calldata tx;
+        gas;
+      }
+    in
+    let st', trace = Evm.Interp.execute ~config ~block:!block ~state:!state msg in
+    state := st';
+    block := Evm.Interp.advance_block !block;
+    let success = Evm.Trace.succeeded trace in
+    (* constructor endowments don't count: the EF oracle asks whether the
+       contract accepts deposits in normal operation *)
+    if success && (not (U.is_zero value)) && not tx.fn.Abi.is_constructor then
+      received_value := true;
+    results_rev := { tx_index = i; fn_name = tx.fn.Abi.name; success; trace }
+                   :: !results_rev;
+    match cache with
+    | Some c ->
+      State_cache.store c digests.(i + 1)
+        {
+          State_cache.state = !state;
+          block = !block;
+          tx_results = List.rev !results_rev;
+          received_value = !received_value;
+        }
+    | None -> ()
+  done;
+  {
+    tx_results = List.rev !results_rev;
+    final_state = !state;
+    received_value = !received_value;
+  }

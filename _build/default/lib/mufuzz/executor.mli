@@ -1,0 +1,42 @@
+(** Seed execution harness: runs a full transaction sequence on a fresh
+    world state (the paper's per-round re-execution model, §VI) and
+    returns the per-transaction traces the feedback loops consume.
+
+    With a {!State_cache.t} supplied, execution resumes from the deepest
+    cached intermediate state whose transaction prefix matches — the
+    §VI future-work optimisation. Results are bit-identical with or
+    without the cache. *)
+
+val deployer : Evm.State.address
+val sender_pool : int -> Evm.State.address list
+(** Deterministic, well-funded externally-owned accounts. *)
+
+val contract_address : Evm.State.address
+
+type tx_result = Executor_types.tx_result = {
+  tx_index : int;
+  fn_name : string;
+  success : bool;
+  trace : Evm.Trace.t;
+}
+
+type run = {
+  tx_results : tx_result list;
+  final_state : Evm.State.t;
+  received_value : bool;
+      (** some successful non-constructor transaction carried value *)
+}
+
+val run_seed :
+  contract:Minisol.Contract.t ->
+  gas:int ->
+  n_senders:int ->
+  attacker:bool ->
+  ?cache:State_cache.t ->
+  Seed.t ->
+  run
+(** Deploys the contract, funds the sender pool, then executes the
+    seed's transactions in order, advancing the block between them.
+    Constructor transactions are always issued by {!deployer}. A cache,
+    when given, must be dedicated to this (contract, gas, n_senders,
+    attacker) configuration. *)

@@ -1,0 +1,8 @@
+(* Shared result types between the executor and the prefix state cache. *)
+
+type tx_result = {
+  tx_index : int;
+  fn_name : string;
+  success : bool;
+  trace : Evm.Trace.t;
+}

@@ -1,0 +1,63 @@
+type t = { bits : int array; stride : int }
+
+type feedback = { hits_nested : bool; distance_decreased : bool }
+
+let kind_bit k = 1 lsl Mutation.kind_index k
+
+let all_bits = 0b1111
+
+let compute rng ~stride ~max_probes ~probe stream =
+  let len = String.length stream in
+  let bits = Array.make (Stdlib.max len 1) 0 in
+  if len = 0 then { bits; stride = 1 }
+  else begin
+    let stride = Stdlib.max 1 stride in
+    (* Algorithm 2 line 2: the mutation width n is drawn once. *)
+    let n = 1 + Util.Rng.int rng (Stdlib.min 8 len) in
+    let probes = ref 0 in
+    let i = ref 0 in
+    while !i < len && !probes < max_probes do
+      let pos = !i in
+      List.iter
+        (fun kind ->
+          if !probes < max_probes then begin
+            incr probes;
+            let mutant = Mutation.apply rng { Mutation.kind; n } ~pos stream in
+            let fb = probe mutant in
+            if fb.hits_nested || fb.distance_decreased then
+              bits.(pos) <- bits.(pos) lor kind_bit kind
+          end)
+        Mutation.all_kinds;
+      i := !i + stride
+    done;
+    (* Propagate each probed verdict across the positions its stride
+       window covers. *)
+    for p = 0 to len - 1 do
+      if p mod stride <> 0 then begin
+        let anchor = p - (p mod stride) in
+        bits.(p) <- bits.(anchor)
+      end
+    done;
+    { bits; stride }
+  end
+
+let allows t kind ~pos =
+  if pos < 0 then false
+  else if pos >= Array.length t.bits then true
+  else t.bits.(pos) land kind_bit kind <> 0
+
+let allow_all len = { bits = Array.make (Stdlib.max len 1) all_bits; stride = 1 }
+
+let admitted_fraction t =
+  let total = 4 * Array.length t.bits in
+  let set =
+    Array.fold_left
+      (fun acc b ->
+        acc
+        + (b land 1)
+        + ((b lsr 1) land 1)
+        + ((b lsr 2) land 1)
+        + ((b lsr 3) land 1))
+      0 t.bits
+  in
+  if total = 0 then 1.0 else float_of_int set /. float_of_int total

@@ -1,0 +1,39 @@
+(** Algorithm 2: mutation-mask computation (§IV-B).
+
+    For a chosen seed (one transaction's byte stream) and a target branch,
+    every stream position is probed with each of the four operator classes
+    {O, I, R, D}. A position admits an operator iff the probed mutant
+    still hits a nested branch or brings the branch distance down — those
+    positions are safe to mutate; the rest are the input's critical bytes
+    and the mask forbids touching them. *)
+
+type t
+(** One bitset of admitted operator kinds per stream position. *)
+
+type feedback = {
+  hits_nested : bool;  (** the mutant still reaches a nested branch *)
+  distance_decreased : bool;
+      (** the mutant got closer to the target uncovered branch *)
+}
+
+val compute :
+  Util.Rng.t ->
+  stride:int ->
+  max_probes:int ->
+  probe:(string -> feedback) ->
+  string ->
+  t
+(** [compute rng ~stride ~max_probes ~probe stream] runs Algorithm 2,
+    probing positions [0, stride, 2*stride, ...] (positions the stride
+    skips inherit the verdict of the probed position covering them). The
+    operator width [n] is drawn once per mask, as in the paper. *)
+
+val allows : t -> Mutation.kind -> pos:int -> bool
+(** OKTOMUTATE. Positions beyond the computed range are allowed (streams
+    can grow via insertions). *)
+
+val allow_all : int -> t
+(** The trivial mask (ablation: mask guidance disabled). *)
+
+val admitted_fraction : t -> float
+(** Fraction of (position, kind) pairs admitted — reporting/testing. *)

@@ -1,0 +1,75 @@
+module U = Word.U256
+
+let findings_of ~contract ~gas ~n_senders ~attacker seed =
+  let run = Executor.run_seed ~contract ~gas ~n_senders ~attacker seed in
+  let static = Oracles.Oracle.static_info_of contract in
+  Oracles.Oracle.inspect_campaign ~static ~received_value:run.received_value
+    (List.map
+       (fun (r : Executor.tx_result) -> (r.tx_index, r.success, r.trace))
+       run.tx_results)
+
+let reproduces ~contract ~gas ~n_senders ~attacker (f : Oracles.Oracle.finding)
+    seed =
+  List.exists
+    (fun (g : Oracles.Oracle.finding) -> g.cls = f.cls && g.pc = f.pc)
+    (findings_of ~contract ~gas ~n_senders ~attacker seed)
+
+let minimize ~contract ~gas ~n_senders ~attacker ?(max_steps = 200) finding seed =
+  let steps = ref 0 in
+  let check s =
+    incr steps;
+    reproduces ~contract ~gas ~n_senders ~attacker finding s
+  in
+  if not (check seed) then (seed, !steps)
+  else begin
+    (* Phase 1: drop transactions, scanning from the tail so later
+       redundant calls go first; never drop the constructor. *)
+    let current = ref seed in
+    let continue = ref true in
+    while !continue && !steps < max_steps do
+      continue := false;
+      let txs = Array.of_list (!current).Seed.txs in
+      let n = Array.length txs in
+      let i = ref (n - 1) in
+      while !i >= 0 && !steps < max_steps do
+        if not txs.(!i).Seed.fn.Abi.is_constructor then begin
+          let candidate =
+            { Seed.txs =
+                Array.to_list txs
+                |> List.filteri (fun j _ -> j <> !i) }
+          in
+          if candidate.txs <> [] && check candidate then begin
+            current := candidate;
+            continue := true;
+            i := -1 (* restart the scan on the shorter sequence *)
+          end
+          else decr i
+        end
+        else decr i
+      done
+    done;
+    (* Phase 2: zero out 32-byte words of each transaction's stream. *)
+    let txs = Array.of_list (!current).Seed.txs in
+    Array.iteri
+      (fun ti tx ->
+        let stream = Bytes.of_string tx.Seed.stream in
+        let words = Bytes.length stream / 32 in
+        for w = 0 to words - 1 do
+          if !steps < max_steps then begin
+            let saved = Bytes.sub stream (w * 32) 32 in
+            if Bytes.exists (fun c -> c <> '\000') saved then begin
+              Bytes.fill stream (w * 32) 32 '\000';
+              let candidate =
+                Seed.with_tx !current ti
+                  { tx with Seed.stream = Bytes.to_string stream }
+              in
+              if check candidate then current := candidate
+              else Bytes.blit saved 0 stream (w * 32) 32
+            end
+          end
+        done;
+        (* keep the possibly-zeroed stream for the next word iterations *)
+        txs.(ti) <- { tx with Seed.stream = Bytes.to_string stream })
+      txs;
+    (!current, !steps)
+  end

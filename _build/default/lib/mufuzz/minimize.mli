@@ -1,0 +1,30 @@
+(** Witness minimisation: shrink a bug-exposing transaction sequence to a
+    minimal, readable proof-of-concept.
+
+    Greedy delta-debugging: drop transactions one at a time (keeping the
+    constructor), then zero out argument/value words, re-checking after
+    each step that the finding still reproduces. Deterministic; the
+    result always reproduces the finding. *)
+
+val reproduces :
+  contract:Minisol.Contract.t ->
+  gas:int ->
+  n_senders:int ->
+  attacker:bool ->
+  Oracles.Oracle.finding ->
+  Seed.t ->
+  bool
+(** Does executing the seed raise a finding with the same class and pc? *)
+
+val minimize :
+  contract:Minisol.Contract.t ->
+  gas:int ->
+  n_senders:int ->
+  attacker:bool ->
+  ?max_steps:int ->
+  Oracles.Oracle.finding ->
+  Seed.t ->
+  Seed.t * int
+(** [minimize ... finding seed] returns the shrunk seed and the number of
+    executions spent. [max_steps] bounds the work (default 200). If the
+    input seed does not reproduce the finding it is returned unchanged. *)

@@ -1,0 +1,64 @@
+exception Corrupt of string
+
+let tx_to_line (tx : Seed.tx) =
+  Printf.sprintf "%s %d %s" tx.fn.Abi.name tx.sender (Util.Hex.encode tx.stream)
+
+let seed_to_string (seed : Seed.t) =
+  String.concat "\n" (List.map tx_to_line seed.txs) ^ "\n"
+
+let rec tx_of_line ~abi line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ name; sender; hex ] -> begin
+    match List.find_opt (fun (f : Abi.func) -> f.Abi.name = name) abi with
+    | None -> raise (Corrupt (Printf.sprintf "unknown function %s" name))
+    | Some fn ->
+      let sender =
+        match int_of_string_opt sender with
+        | Some s when s >= 0 -> s
+        | _ -> raise (Corrupt ("bad sender in: " ^ line))
+      in
+      let stream =
+        try Util.Hex.decode hex
+        with Invalid_argument m -> raise (Corrupt (m ^ " in: " ^ line))
+      in
+      { Seed.fn; sender; stream }
+  end
+  | [ name; sender ] -> tx_of_line ~abi (name ^ " " ^ sender ^ " ")
+  | _ -> raise (Corrupt ("malformed line: " ^ line))
+
+let seed_of_string ~abi s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then raise (Corrupt "empty seed");
+  { Seed.txs = List.map (tx_of_line ~abi) lines }
+
+let save_corpus path seeds =
+  let oc = open_out path in
+  List.iter
+    (fun seed ->
+      output_string oc (seed_to_string seed);
+      output_char oc '\n')
+    seeds;
+  close_out oc
+
+let load_corpus ~abi path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  (* seeds are separated by blank lines *)
+  let blocks =
+    String.split_on_char '\n' content
+    |> List.fold_left
+         (fun (done_, cur) line ->
+           if String.trim line = "" then
+             if cur = [] then (done_, []) else (List.rev cur :: done_, [])
+           else (done_, line :: cur))
+         ([], [])
+    |> fun (done_, cur) ->
+    List.rev (if cur = [] then done_ else List.rev cur :: done_)
+  in
+  List.map (fun lines -> seed_of_string ~abi (String.concat "\n" lines)) blocks

@@ -1,0 +1,78 @@
+type checkpoint = { execs : int; covered : int }
+
+type t = {
+  contract_name : string;
+  executions : int;
+  covered_branches : int;
+  covered : (int * bool) list;
+  total_branch_sides : int;
+  findings : Oracles.Oracle.finding list;
+  witnesses : (Oracles.Oracle.finding * string) list;
+  witness_seeds : (Oracles.Oracle.finding * Seed.t) list;
+  over_time : checkpoint list;
+  seeds_in_queue : int;
+  corpus : Seed.t list;
+  wall_seconds : float;
+}
+
+let coverage_pct t =
+  if t.total_branch_sides = 0 then 0.0
+  else 100.0 *. float_of_int t.covered_branches /. float_of_int t.total_branch_sides
+
+let has_class t cls =
+  List.exists (fun (f : Oracles.Oracle.finding) -> f.cls = cls) t.findings
+
+let findings_by_class t =
+  List.filter_map
+    (fun cls ->
+      let n =
+        List.length
+          (List.filter (fun (f : Oracles.Oracle.finding) -> f.cls = cls) t.findings)
+      in
+      if n > 0 then Some (cls, n) else None)
+    Oracles.Oracle.all_classes
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%s: %d execs, coverage %.1f%% (%d/%d sides), %d findings@."
+    t.contract_name t.executions (coverage_pct t) t.covered_branches
+    t.total_branch_sides (List.length t.findings);
+  List.iter
+    (fun (cls, n) ->
+      Format.fprintf fmt "  %s: %d@." (Oracles.Oracle.class_to_string cls) n)
+    (findings_by_class t)
+
+let to_text t =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "MuFuzz report for %s\n" t.contract_name;
+  pf "====================%s\n\n" (String.make (String.length t.contract_name) '=');
+  pf "executions      : %d\n" t.executions;
+  pf "wall time       : %.2fs\n" t.wall_seconds;
+  pf "branch coverage : %.1f%% (%d of %d sides)\n" (coverage_pct t)
+    t.covered_branches t.total_branch_sides;
+  pf "seeds in queue  : %d\n" t.seeds_in_queue;
+  pf "findings        : %d\n\n" (List.length t.findings);
+  List.iter
+    (fun (cls, n) ->
+      pf "  %s  %d  (%s)\n"
+        (Oracles.Oracle.class_to_string cls)
+        n
+        (Oracles.Oracle.class_description cls))
+    (findings_by_class t);
+  if t.witnesses <> [] then begin
+    pf "\nwitnesses\n---------\n";
+    List.iter
+      (fun ((f : Oracles.Oracle.finding), w) ->
+        pf "\n[%s] pc=%d tx#%d: %s\n  sequence: %s\n"
+          (Oracles.Oracle.class_to_string f.cls)
+          f.pc f.tx_index f.detail w)
+      t.witnesses
+  end;
+  pf "\ncoverage growth (execs -> covered sides)\n";
+  let step = Stdlib.max 1 (List.length t.over_time / 20) in
+  List.iteri
+    (fun i (cp : checkpoint) ->
+      if i mod step = 0 || i = List.length t.over_time - 1 then
+        pf "  %6d %4d\n" cp.execs cp.covered)
+    t.over_time;
+  Buffer.contents buf

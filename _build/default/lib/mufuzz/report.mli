@@ -1,0 +1,34 @@
+(** Campaign results. *)
+
+type checkpoint = { execs : int; covered : int }
+
+type t = {
+  contract_name : string;
+  executions : int;
+  covered_branches : int;  (** distinct (pc, side) identities exercised *)
+  covered : (int * bool) list;  (** the exercised branch sides themselves *)
+  total_branch_sides : int;  (** 2 x number of JUMPIs in the bytecode *)
+  findings : Oracles.Oracle.finding list;  (** deduplicated *)
+  witnesses : (Oracles.Oracle.finding * string) list;
+      (** finding paired with the rendering of the seed that exposed it *)
+  witness_seeds : (Oracles.Oracle.finding * Seed.t) list;
+      (** the raw seeds, for replay and minimisation *)
+  over_time : checkpoint list;  (** coverage growth, in execution order *)
+  seeds_in_queue : int;
+  corpus : Seed.t list;  (** the final seed queue, for saving/resuming *)
+  wall_seconds : float;
+}
+
+val coverage_pct : t -> float
+(** [100 * covered / total]; 0 when the contract has no branches. *)
+
+val has_class : t -> Oracles.Oracle.bug_class -> bool
+
+val findings_by_class : t -> (Oracles.Oracle.bug_class * int) list
+
+val pp_summary : Format.formatter -> t -> unit
+
+val to_text : t -> string
+(** Full plain-text report: summary, per-class counts, every finding with
+    its witness sequence, and the coverage growth curve — what the CLI
+    writes with [--out]. *)

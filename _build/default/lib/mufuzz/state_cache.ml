@@ -1,0 +1,37 @@
+type snapshot = {
+  state : Evm.State.t;
+  block : Evm.Interp.block_env;
+  tx_results : Executor_types.tx_result list;
+  received_value : bool;
+}
+
+type t = {
+  table : (string, snapshot) Hashtbl.t;
+  capacity : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(capacity = 4096) () =
+  { table = Hashtbl.create 256; capacity; hit_count = 0; miss_count = 0 }
+
+let digest_tx prev (tx : Seed.tx) =
+  Crypto.Keccak.hash
+    (prev ^ Abi.selector tx.fn ^ String.make 1 (Char.chr (tx.sender land 0xff))
+   ^ tx.stream)
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some s ->
+    t.hit_count <- t.hit_count + 1;
+    Some s
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    None
+
+let store t key snapshot =
+  if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
+  Hashtbl.replace t.table key snapshot
+
+let hits t = t.hit_count
+let misses t = t.miss_count

@@ -1,0 +1,35 @@
+(** Prefix state caching — the optimisation the paper's §VI names as
+    future work: instead of re-executing every transaction of a sequence
+    from a fresh state, the executor resumes from the deepest cached
+    intermediate state whose transaction prefix matches.
+
+    Keys are chained Keccak digests of the transaction descriptors
+    (function selector, sender index, input stream), so a seed whose
+    mutation touched only transaction [k] replays transactions
+    [0..k-1] for free. Caching is semantically transparent: campaigns
+    produce bit-identical results with it on or off (tests assert this);
+    only throughput changes. *)
+
+type t
+
+type snapshot = {
+  state : Evm.State.t;
+  block : Evm.Interp.block_env;
+  tx_results : Executor_types.tx_result list;  (** in execution order *)
+  received_value : bool;
+}
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of snapshots (default 4096); the cache
+    resets wholesale when full — snapshots are cheap to rebuild. *)
+
+val digest_tx : string -> Seed.tx -> string
+(** [digest_tx prev tx] chains the prefix digest with this transaction's
+    descriptor. The empty string is the root digest. *)
+
+val find : t -> string -> snapshot option
+
+val store : t -> string -> snapshot -> unit
+
+val hits : t -> int
+val misses : t -> int

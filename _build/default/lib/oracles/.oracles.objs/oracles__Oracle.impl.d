@@ -1,0 +1,1 @@
+lib/oracles/oracle.ml: Abi Array Evm Format Hashtbl List Minisol Printf Word

@@ -1,0 +1,1 @@
+lib/oracles/oracle.mli: Evm Format Minisol

@@ -1,0 +1,49 @@
+(** The nine bug oracles of §IV-D, evaluated over execution traces.
+
+    Classes (paper abbreviations): BD block dependency, UD unprotected
+    delegatecall, EF ether freezing, IO integer over-/under-flow, RE
+    reentrancy, US unprotected selfdestruct, SE strict ether equality,
+    TO tx.origin use, UE unhandled exception. *)
+
+type bug_class = BD | UD | EF | IO | RE | US | SE | TO | UE
+
+val all_classes : bug_class list
+val class_to_string : bug_class -> string
+val class_description : bug_class -> string
+
+type finding = {
+  cls : bug_class;
+  pc : int;  (** instruction index of the offending site; -1 for
+                 whole-contract findings such as EF *)
+  tx_index : int;  (** position in the witnessing transaction sequence *)
+  detail : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+(** Static facts about the target that the oracles consult. *)
+type static_info = {
+  has_value_out : bool;
+      (** the bytecode contains CALL or SELFDESTRUCT (a way to send ether
+          out) — EF's static component *)
+  payable_functions : string list;
+}
+
+val static_info_of : Minisol.Contract.t -> static_info
+
+val inspect_trace :
+  static:static_info -> tx_index:int -> tx_success:bool -> Evm.Trace.t ->
+  finding list
+(** Findings visible in a single transaction's trace. *)
+
+val inspect_campaign :
+  static:static_info ->
+  received_value:bool ->
+  (int * bool * Evm.Trace.t) list ->
+  finding list
+(** Campaign-level pass over [(tx_index, success, trace)] executions:
+    runs {!inspect_trace} on each and adds whole-contract findings (EF
+    requires knowing the contract accepted value somewhere). *)
+
+val dedup : finding list -> finding list
+(** Keep one finding per (class, pc), preferring the earliest witness. *)

@@ -1,0 +1,50 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every source of randomness in the fuzzer flows through a value of type
+    {!t}, seeded explicitly, so that campaigns are reproducible and
+    experiments can be re-run bit-for-bit. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Distinct seeds yield
+    independent streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy evolves
+    independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child
+    generator, for handing to subcomponents without sharing state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Requires
+    [lo <= hi]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val byte : t -> char
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] uniformly random bytes. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list

@@ -1,0 +1,54 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc r -> match r with Cells c -> max acc (List.length c) | Separator -> acc)
+      (List.length t.headers) rows
+  in
+  let pad cells = cells @ List.init (ncols - List.length cells) (fun _ -> "") in
+  let headers = pad t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure headers;
+  List.iter (function Cells c -> measure (pad c) | Separator -> ()) rows;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (widths.(i) - String.length c) ' ');
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line headers;
+  rule ();
+  List.iter (function Cells c -> line (pad c) | Separator -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

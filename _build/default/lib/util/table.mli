@@ -1,0 +1,22 @@
+(** Plain-text table rendering for benchmark reports.
+
+    Renders aligned ASCII tables in the style of the paper's result tables
+    so that bench output is directly comparable to the published rows. *)
+
+type t
+
+val create : headers:string list -> t
+(** [create ~headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. Rows shorter than the header are
+    padded with empty cells; longer rows extend the column count. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule before the next row. *)
+
+val render : t -> string
+(** Renders the table with box-drawing rules and padded columns. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output. *)

@@ -1,0 +1,1 @@
+lib/word/int64_util.mli:

@@ -1,0 +1,1 @@
+lib/word/u256.ml: Array Buffer Char Format Int64 Int64_util List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/word/u256.mli: Format

@@ -1,0 +1,28 @@
+let count_leading_zeros v =
+  if Int64.equal v 0L then 64
+  else begin
+    (* Binary search over half-widths. *)
+    let v = ref v and n = ref 0 in
+    if Int64.equal (Int64.shift_right_logical !v 32) 0L then begin
+      n := !n + 32;
+      v := Int64.shift_left !v 32
+    end;
+    if Int64.equal (Int64.shift_right_logical !v 48) 0L then begin
+      n := !n + 16;
+      v := Int64.shift_left !v 16
+    end;
+    if Int64.equal (Int64.shift_right_logical !v 56) 0L then begin
+      n := !n + 8;
+      v := Int64.shift_left !v 8
+    end;
+    if Int64.equal (Int64.shift_right_logical !v 60) 0L then begin
+      n := !n + 4;
+      v := Int64.shift_left !v 4
+    end;
+    if Int64.equal (Int64.shift_right_logical !v 62) 0L then begin
+      n := !n + 2;
+      v := Int64.shift_left !v 2
+    end;
+    if Int64.equal (Int64.shift_right_logical !v 63) 0L then n := !n + 1;
+    !n
+  end

@@ -1,0 +1,4 @@
+(** Bit-level helpers on [int64] treated as unsigned. *)
+
+val count_leading_zeros : int64 -> int
+(** Number of zero bits above the highest set bit; 64 for zero. *)

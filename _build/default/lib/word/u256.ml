@@ -1,0 +1,415 @@
+(* 256-bit words as four 64-bit limbs, least significant first. All
+   arithmetic wraps modulo 2^256 per EVM semantics. *)
+
+type t = { l0 : int64; l1 : int64; l2 : int64; l3 : int64 }
+
+let make l0 l1 l2 l3 = { l0; l1; l2; l3 }
+
+let zero = make 0L 0L 0L 0L
+let one = make 1L 0L 0L 0L
+let max_value = make (-1L) (-1L) (-1L) (-1L)
+
+let equal a b =
+  Int64.equal a.l0 b.l0 && Int64.equal a.l1 b.l1 && Int64.equal a.l2 b.l2
+  && Int64.equal a.l3 b.l3
+
+let is_zero a = equal a zero
+
+let compare a b =
+  let c = Int64.unsigned_compare a.l3 b.l3 in
+  if c <> 0 then c
+  else
+    let c = Int64.unsigned_compare a.l2 b.l2 in
+    if c <> 0 then c
+    else
+      let c = Int64.unsigned_compare a.l1 b.l1 in
+      if c <> 0 then c else Int64.unsigned_compare a.l0 b.l0
+
+let lt a b = compare a b < 0
+let gt a b = compare a b > 0
+let le a b = compare a b <= 0
+let ge a b = compare a b >= 0
+let min a b = if le a b then a else b
+let max a b = if ge a b then a else b
+
+let limb a i =
+  match i with
+  | 0 -> a.l0
+  | 1 -> a.l1
+  | 2 -> a.l2
+  | 3 -> a.l3
+  | _ -> invalid_arg "U256.limb"
+
+(* Add with carry-in; carry out is 0 or 1. *)
+let add64c a b c =
+  let s1 = Int64.add a b in
+  let c1 = if Int64.unsigned_compare s1 a < 0 then 1L else 0L in
+  let s2 = Int64.add s1 c in
+  let c2 = if Int64.unsigned_compare s2 s1 < 0 then 1L else 0L in
+  (s2, Int64.add c1 c2)
+
+let sub64b a b brw =
+  let d1 = Int64.sub a b in
+  let b1 = if Int64.unsigned_compare a b < 0 then 1L else 0L in
+  let d2 = Int64.sub d1 brw in
+  let b2 = if Int64.unsigned_compare d1 brw < 0 then 1L else 0L in
+  (d2, Int64.add b1 b2)
+
+let add a b =
+  let l0, c = add64c a.l0 b.l0 0L in
+  let l1, c = add64c a.l1 b.l1 c in
+  let l2, c = add64c a.l2 b.l2 c in
+  let l3, _ = add64c a.l3 b.l3 c in
+  make l0 l1 l2 l3
+
+let sub a b =
+  let l0, brw = sub64b a.l0 b.l0 0L in
+  let l1, brw = sub64b a.l1 b.l1 brw in
+  let l2, brw = sub64b a.l2 b.l2 brw in
+  let l3, _ = sub64b a.l3 b.l3 brw in
+  make l0 l1 l2 l3
+
+let neg a = sub zero a
+
+(* 64x64 -> 128 multiplication via 32-bit halves. *)
+let mul64_wide a b =
+  let mask = 0xFFFFFFFFL in
+  let al = Int64.logand a mask and ah = Int64.shift_right_logical a 32 in
+  let bl = Int64.logand b mask and bh = Int64.shift_right_logical b 32 in
+  let ll = Int64.mul al bl in
+  let lh = Int64.mul al bh in
+  let hl = Int64.mul ah bl in
+  let hh = Int64.mul ah bh in
+  let mid = Int64.add (Int64.shift_right_logical ll 32) (Int64.logand lh mask) in
+  let mid = Int64.add mid (Int64.logand hl mask) in
+  let lo = Int64.logor (Int64.logand ll mask) (Int64.shift_left mid 32) in
+  let hi =
+    Int64.add
+      (Int64.add hh (Int64.shift_right_logical mid 32))
+      (Int64.add (Int64.shift_right_logical lh 32) (Int64.shift_right_logical hl 32))
+  in
+  (lo, hi)
+
+let mul a b =
+  (* Schoolbook product, keeping only the low 256 bits. *)
+  let acc = Array.make 4 0L in
+  let carry_into idx v =
+    let i = ref idx and v = ref v in
+    while !i < 4 && not (Int64.equal !v 0L) do
+      let s, c = add64c acc.(!i) !v 0L in
+      acc.(!i) <- s;
+      v := c;
+      incr i
+    done
+  in
+  for i = 0 to 3 do
+    for j = 0 to 3 - i do
+      let lo, hi = mul64_wide (limb a i) (limb b j) in
+      carry_into (i + j) lo;
+      if i + j + 1 < 4 then carry_into (i + j + 1) hi
+    done
+  done;
+  make acc.(0) acc.(1) acc.(2) acc.(3)
+
+let get_bit a i =
+  let l = limb a (i / 64) in
+  Int64.logand (Int64.shift_right_logical l (i mod 64)) 1L = 1L
+
+let set_bit a i =
+  let mask = Int64.shift_left 1L (i mod 64) in
+  match i / 64 with
+  | 0 -> { a with l0 = Int64.logor a.l0 mask }
+  | 1 -> { a with l1 = Int64.logor a.l1 mask }
+  | 2 -> { a with l2 = Int64.logor a.l2 mask }
+  | 3 -> { a with l3 = Int64.logor a.l3 mask }
+  | _ -> invalid_arg "U256.set_bit"
+
+let bit_length a =
+  let limb_bits l = if Int64.equal l 0L then 0 else 64 - Int64_util.count_leading_zeros l in
+  if not (Int64.equal a.l3 0L) then 192 + limb_bits a.l3
+  else if not (Int64.equal a.l2 0L) then 128 + limb_bits a.l2
+  else if not (Int64.equal a.l1 0L) then 64 + limb_bits a.l1
+  else limb_bits a.l0
+
+let shift_left a n =
+  if n <= 0 then if n = 0 then a else invalid_arg "U256.shift_left"
+  else if n >= 256 then zero
+  else
+    let words = n / 64 and bits = n mod 64 in
+    let get i = if i < 0 then 0L else limb a i in
+    let part i =
+      if bits = 0 then get (i - words)
+      else
+        Int64.logor
+          (Int64.shift_left (get (i - words)) bits)
+          (Int64.shift_right_logical (get (i - words - 1)) (64 - bits))
+    in
+    make (part 0) (part 1) (part 2) (part 3)
+
+let shift_right a n =
+  if n <= 0 then if n = 0 then a else invalid_arg "U256.shift_right"
+  else if n >= 256 then zero
+  else
+    let words = n / 64 and bits = n mod 64 in
+    let get i = if i > 3 then 0L else limb a i in
+    let part i =
+      if bits = 0 then get (i + words)
+      else
+        Int64.logor
+          (Int64.shift_right_logical (get (i + words)) bits)
+          (Int64.shift_left (get (i + words + 1)) (64 - bits))
+    in
+    make (part 0) (part 1) (part 2) (part 3)
+
+let is_neg a = Int64.logand a.l3 Int64.min_int <> 0L
+
+let logand a b = make (Int64.logand a.l0 b.l0) (Int64.logand a.l1 b.l1)
+    (Int64.logand a.l2 b.l2) (Int64.logand a.l3 b.l3)
+
+let logor a b = make (Int64.logor a.l0 b.l0) (Int64.logor a.l1 b.l1)
+    (Int64.logor a.l2 b.l2) (Int64.logor a.l3 b.l3)
+
+let logxor a b = make (Int64.logxor a.l0 b.l0) (Int64.logxor a.l1 b.l1)
+    (Int64.logxor a.l2 b.l2) (Int64.logxor a.l3 b.l3)
+
+let lognot a = make (Int64.lognot a.l0) (Int64.lognot a.l1)
+    (Int64.lognot a.l2) (Int64.lognot a.l3)
+
+let shift_right_arith a n =
+  if n >= 256 then if is_neg a then max_value else zero
+  else
+    let shifted = shift_right a n in
+    if is_neg a && n > 0 then
+      (* Fill the vacated top bits with ones. *)
+      logor shifted (shift_left max_value (256 - n))
+    else shifted
+
+(* Shift-subtract long division; quadratic in bit length but division is
+   rare on EVM hot paths. *)
+let divmod a b =
+  if is_zero b then (zero, zero)
+  else if lt a b then (zero, a)
+  else begin
+    let quot = ref zero and rem = ref zero in
+    for i = bit_length a - 1 downto 0 do
+      rem := shift_left !rem 1;
+      if get_bit a i then rem := logor !rem one;
+      if ge !rem b then begin
+        rem := sub !rem b;
+        quot := set_bit !quot i
+      end
+    done;
+    (!quot, !rem)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let slt a b =
+  match (is_neg a, is_neg b) with
+  | true, false -> true
+  | false, true -> false
+  | _ -> lt a b
+
+let sgt a b = slt b a
+
+let abs_signed a = if is_neg a then neg a else a
+
+let sdiv a b =
+  if is_zero b then zero
+  else
+    let q = div (abs_signed a) (abs_signed b) in
+    if is_neg a <> is_neg b then neg q else q
+
+let srem a b =
+  if is_zero b then zero
+  else
+    let r = rem (abs_signed a) (abs_signed b) in
+    if is_neg a then neg r else r
+
+let add_mod a b m =
+  if is_zero m then zero
+  else begin
+    let a = rem a m and b = rem b m in
+    let s = add a b in
+    (* Detect the 257th carry bit: the wrapped sum is smaller than an
+       addend exactly when overflow happened. *)
+    if lt s a then sub s m else if ge s m then sub s m else s
+  end
+
+let mul_mod a b m =
+  if is_zero m then zero
+  else begin
+    (* Russian-peasant multiplication under the modulus. *)
+    let result = ref zero in
+    let a = ref (rem a m) and b = ref b in
+    while not (is_zero !b) do
+      if get_bit !b 0 then result := add_mod !result !a m;
+      a := add_mod !a !a m;
+      b := shift_right !b 1
+    done;
+    !result
+  end
+
+let exp base e =
+  let result = ref one and base = ref base and e = ref e in
+  while not (is_zero !e) do
+    if get_bit !e 0 then result := mul !result !base;
+    base := mul !base !base;
+    e := shift_right !e 1
+  done;
+  !result
+
+let of_int n =
+  if n < 0 then invalid_arg "U256.of_int: negative"
+  else make (Int64.of_int n) 0L 0L 0L
+
+let of_signed_int n =
+  if n >= 0 then of_int n else neg (of_int (-n))
+
+let of_int64 n = make n 0L 0L 0L
+
+let to_int_opt a =
+  if Int64.equal a.l1 0L && Int64.equal a.l2 0L && Int64.equal a.l3 0L
+     && Int64.unsigned_compare a.l0 (Int64.of_int Stdlib.max_int) <= 0
+  then Some (Int64.to_int a.l0)
+  else None
+
+let to_int_exn a =
+  match to_int_opt a with
+  | Some n -> n
+  | None -> invalid_arg "U256.to_int_exn: out of range"
+
+let u64_to_float v =
+  if Int64.compare v 0L >= 0 then Int64.to_float v
+  else Int64.to_float v +. 18446744073709551616.0
+
+let to_float a =
+  let two64 = 18446744073709551616.0 in
+  ((u64_to_float a.l3 *. two64 +. u64_to_float a.l2) *. two64 +. u64_to_float a.l1)
+  *. two64
+  +. u64_to_float a.l0
+
+(* Divide by a small positive divisor (< 2^31), processing 32-bit chunks
+   so every intermediate fits in a signed 63-bit value. *)
+let divmod_small a d =
+  assert (d > 0 && d < 0x40000000);
+  let d64 = Int64.of_int d in
+  let out = Array.make 4 0L in
+  let r = ref 0L in
+  for i = 3 downto 0 do
+    let l = limb a i in
+    let hi32 = Int64.shift_right_logical l 32 in
+    let lo32 = Int64.logand l 0xFFFFFFFFL in
+    let acc_hi = Int64.add (Int64.shift_left !r 32) hi32 in
+    let q_hi = Int64.div acc_hi d64 and r_hi = Int64.rem acc_hi d64 in
+    let acc_lo = Int64.add (Int64.shift_left r_hi 32) lo32 in
+    let q_lo = Int64.div acc_lo d64 and r_lo = Int64.rem acc_lo d64 in
+    out.(i) <- Int64.logor (Int64.shift_left q_hi 32) q_lo;
+    r := r_lo
+  done;
+  (make out.(0) out.(1) out.(2) out.(3), Int64.to_int !r)
+
+let to_decimal_string a =
+  if is_zero a then "0"
+  else begin
+    (* Peel base-10^9 chunks from the low end, then join most-significant
+       first; interior chunks keep their leading zeros. *)
+    let chunks = ref [] in
+    let v = ref a in
+    while not (is_zero !v) do
+      let q, r = divmod_small !v 1_000_000_000 in
+      chunks := r :: !chunks;
+      v := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+      let b = Buffer.create 80 in
+      Buffer.add_string b (string_of_int first);
+      List.iter (fun c -> Buffer.add_string b (Printf.sprintf "%09d" c)) rest;
+      Buffer.contents b
+  end
+
+let of_decimal_string s =
+  if String.length s = 0 then invalid_arg "U256.of_decimal_string: empty";
+  let ten = of_int 10 in
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+        acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+      | '_' -> ()
+      | _ -> invalid_arg "U256.of_decimal_string: non-digit")
+    s;
+  !acc
+
+let of_hex_string s =
+  let s =
+    if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+      String.sub s 2 (String.length s - 2)
+    else s
+  in
+  if String.length s = 0 || String.length s > 64 then
+    invalid_arg "U256.of_hex_string: bad length";
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "U256.of_hex_string: non-hex"
+  in
+  let acc = ref zero in
+  String.iter (fun c -> acc := logor (shift_left !acc 4) (of_int (nibble c))) s;
+  !acc
+
+let to_hex_string a =
+  if is_zero a then "0x0"
+  else begin
+    let buf = Buffer.create 66 in
+    Buffer.add_string buf "0x";
+    let started = ref false in
+    for i = 63 downto 0 do
+      let nib =
+        Int64.to_int
+          (Int64.logand (Int64.shift_right_logical (limb a (i / 16)) ((i mod 16) * 4)) 0xFL)
+      in
+      if nib <> 0 then started := true;
+      if !started then Buffer.add_char buf "0123456789abcdef".[nib]
+    done;
+    Buffer.contents buf
+  end
+
+let of_bytes_be s =
+  let n = String.length s in
+  if n > 32 then invalid_arg "U256.of_bytes_be: more than 32 bytes";
+  let acc = ref zero in
+  String.iter (fun c -> acc := logor (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be a =
+  String.init 32 (fun i ->
+      let bit = (31 - i) * 8 in
+      Char.chr
+        (Int64.to_int
+           (Int64.logand (Int64.shift_right_logical (limb a (bit / 64)) (bit mod 64)) 0xFFL)))
+
+let byte i x =
+  if i >= 32 || i < 0 then zero
+  else logand (shift_right x ((31 - i) * 8)) (of_int 0xff)
+
+let sign_extend k x =
+  if k >= 31 || k < 0 then x
+  else
+    let sign_bit = (8 * (k + 1)) - 1 in
+    let mask = sub (shift_left one (sign_bit + 1)) one in
+    if get_bit x sign_bit then logor x (lognot mask) else logand x mask
+
+let hash a =
+  let mix h l = (h * 31) + (Int64.to_int l land 0x3FFFFFFF) in
+  mix (mix (mix (mix 17 a.l0) a.l1) a.l2) a.l3
+
+let abs_difference a b = if ge a b then sub a b else sub b a
+
+let pp fmt a = Format.pp_print_string fmt (to_decimal_string a)

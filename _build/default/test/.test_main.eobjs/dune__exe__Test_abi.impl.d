@@ -1,0 +1,1 @@
+test/test_abi.ml: Abi Alcotest List String Util Word

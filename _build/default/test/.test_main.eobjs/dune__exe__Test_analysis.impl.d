@@ -1,0 +1,1 @@
+test/test_analysis.ml: Abi Alcotest Analysis Array Corpus Evm Hashtbl List Minisol Option String Util Word

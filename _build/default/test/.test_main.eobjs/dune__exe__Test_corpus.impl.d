@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Evm Filename List Minisol Mufuzz Oracles Printexc String Sys

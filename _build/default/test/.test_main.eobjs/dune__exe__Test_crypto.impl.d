@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Crypto QCheck2 QCheck_alcotest String Util Word

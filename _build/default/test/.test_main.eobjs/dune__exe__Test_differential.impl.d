@@ -1,0 +1,1 @@
+test/test_differential.ml: Abi Alcotest Evm List Minisol Printf QCheck2 QCheck_alcotest Word

@@ -1,0 +1,1 @@
+test/test_evm.ml: Abi Alcotest Array Corpus Evm List Minisol QCheck2 QCheck_alcotest String Word

@@ -1,0 +1,1 @@
+test/test_minisol.ml: Abi Alcotest Analysis Corpus Crypto Evm List Minisol Option Printexc String Word

@@ -1,0 +1,1 @@
+test/test_mufuzz.ml: Abi Alcotest Array Corpus Evm Filename Hashtbl Int64 List Minisol Mufuzz Oracles Printf QCheck2 QCheck_alcotest String Sys Util Word

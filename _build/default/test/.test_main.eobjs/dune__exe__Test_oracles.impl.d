@@ -1,0 +1,1 @@
+test/test_oracles.ml: Alcotest Corpus Evm List Minisol Mufuzz Oracles Printf String Word

@@ -1,0 +1,1 @@
+test/test_u256.ml: Alcotest List QCheck2 QCheck_alcotest String Word

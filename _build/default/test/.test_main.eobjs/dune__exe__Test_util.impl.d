@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Char List String Util

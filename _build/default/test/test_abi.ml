@@ -1,0 +1,68 @@
+(* ABI encoding: selectors, argument round-trips, canonicalisation. *)
+
+module U = Word.U256
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let fn name inputs = { Abi.name; inputs; payable = false; is_constructor = false }
+
+let tests =
+  [
+    unit "signature rendering" (fun () ->
+        Alcotest.(check string) "sig" "transfer(address,uint256)"
+          (Abi.signature (fn "transfer" [ Abi.Address; Abi.Uint256 ])));
+    unit "selector is canonical keccak prefix" (fun () ->
+        Alcotest.(check string) "sel" "a9059cbb"
+          (Util.Hex.encode (Abi.selector (fn "transfer" [ Abi.Address; Abi.Uint256 ]))));
+    unit "encode_call layout" (fun () ->
+        let f = fn "f" [ Abi.Uint256; Abi.Bool ] in
+        let data = Abi.encode_call f [ Abi.VUint (U.of_int 7); Abi.VBool true ] in
+        Alcotest.(check int) "len" (4 + 64) (String.length data);
+        Alcotest.(check string) "arg1 tail byte" "\x07"
+          (String.sub data 35 1);
+        Alcotest.(check string) "bool" "\x01" (String.sub data 67 1));
+    unit "encode_call arity mismatch" (fun () ->
+        Alcotest.check_raises "arity"
+          (Invalid_argument "Abi.encode_call: arity mismatch") (fun () ->
+            ignore (Abi.encode_call (fn "f" [ Abi.Uint256 ]) [])));
+    unit "decode_args inverts encode" (fun () ->
+        let f = fn "g" [ Abi.Uint256; Abi.Address; Abi.Bool ] in
+        let vals =
+          [ Abi.VUint (U.of_int 123456789); Abi.VAddress (U.of_int 0xabcdef);
+            Abi.VBool false ]
+        in
+        let data = Abi.encode_call f vals in
+        let args_part = String.sub data 4 (String.length data - 4) in
+        Alcotest.(check (list string)) "roundtrip"
+          (List.map Abi.value_to_string vals)
+          (List.map Abi.value_to_string (Abi.decode_args f args_part)));
+    unit "canonicalize uint8 masks to low byte" (fun () ->
+        Alcotest.(check string) "low byte" "255"
+          (U.to_decimal_string (Abi.canonicalize_word Abi.Uint8 (U.of_int 0xFFF))));
+    unit "canonicalize address keeps low 160 bits" (fun () ->
+        let w = U.max_value in
+        let a = Abi.canonicalize_word Abi.Address w in
+        Alcotest.(check int) "bits" 160 (U.bit_length a));
+    unit "canonicalize bool is 0/1" (fun () ->
+        Alcotest.(check string) "1" "1"
+          (U.to_decimal_string (Abi.canonicalize_word Abi.Bool (U.of_int 77)));
+        Alcotest.(check string) "0" "0"
+          (U.to_decimal_string (Abi.canonicalize_word Abi.Bool U.zero)));
+    unit "encode_args_raw pads short streams" (fun () ->
+        let f = fn "h" [ Abi.Uint256; Abi.Uint256 ] in
+        let data = Abi.encode_args_raw f "\x01" in
+        Alcotest.(check int) "len" (4 + 64) (String.length data);
+        (* the single byte becomes the high byte of the first word *)
+        Alcotest.(check char) "first" '\x01' data.[4]);
+    unit "encode_args_raw canonicalises each word" (fun () ->
+        let f = fn "h" [ Abi.Bool ] in
+        let data = Abi.encode_args_raw f (String.make 32 '\xff') in
+        (* bool word must canonicalise to exactly one *)
+        Alcotest.(check string) "word is one" (U.to_decimal_string U.one)
+          (U.to_decimal_string (U.of_bytes_be (String.sub data 4 32))));
+    unit "args_byte_length" (fun () ->
+        Alcotest.(check int) "2 args" 64
+          (Abi.args_byte_length (fn "f" [ Abi.Uint256; Abi.Address ])));
+  ]
+
+let suite = [ ("abi", tests) ]

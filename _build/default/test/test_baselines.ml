@@ -1,0 +1,130 @@
+(* Baseline fuzzers (policy profiles) and static analyzers. *)
+
+module O = Oracles.Oracle
+module B = Baselines.Fuzzers
+module S = Baselines.Staticdet
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let fuzzer_tests =
+  [
+    unit "five fuzzers in presentation order" (fun () ->
+        Alcotest.(check (list string)) "names"
+          [ "sFuzz"; "ConFuzzius"; "Smartian"; "IR-Fuzz"; "MuFuzz" ]
+          (List.map (fun (p : B.profile) -> p.name) B.all));
+    unit "find resolves by name" (fun () ->
+        Alcotest.(check bool) "sFuzz" true (B.find "sFuzz" <> None);
+        Alcotest.(check bool) "unknown" true (B.find "AFL" = None));
+    unit "supported classes match Table I" (fun () ->
+        let sup name = (Option.get (B.find name)).B.supports in
+        Alcotest.(check bool) "sFuzz no SE" true (not (List.mem O.SE (sup "sFuzz")));
+        Alcotest.(check bool) "sFuzz no US" true (not (List.mem O.US (sup "sFuzz")));
+        Alcotest.(check bool) "Smartian has TO" true (List.mem O.TO (sup "Smartian"));
+        Alcotest.(check bool) "IR-Fuzz has SE" true (List.mem O.SE (sup "IR-Fuzz"));
+        Alcotest.(check int) "MuFuzz supports all 9" 9 (List.length (sup "MuFuzz")));
+    unit "profile configs differ from MuFuzz" (fun () ->
+        let base = Mufuzz.Config.default in
+        let sfuzz = (Option.get (B.find "sFuzz")).B.configure base in
+        Alcotest.(check bool) "random order" true
+          (sfuzz.sequence_mode = Mufuzz.Config.Seq_random);
+        Alcotest.(check bool) "no mask" true (not sfuzz.mask_guided);
+        let smartian = (Option.get (B.find "Smartian")).B.configure base in
+        Alcotest.(check bool) "no distance feedback" true
+          (not smartian.distance_feedback);
+        let irfuzz = (Option.get (B.find "IR-Fuzz")).B.configure base in
+        Alcotest.(check bool) "prolongation" true irfuzz.prolongation);
+    unit "findings filtered to supported classes" (fun () ->
+        (* sFuzz cannot report US even when the oracle fires *)
+        let c = Minisol.Contract.compile Corpus.Examples.suicidal in
+        let config = { Mufuzz.Config.default with max_executions = 400 } in
+        let r = B.run (Option.get (B.find "sFuzz")) ~config c in
+        Alcotest.(check bool) "no US finding" true
+          (not (List.exists (fun (f : O.finding) -> f.cls = O.US) r.findings));
+        let rm = B.run B.mufuzz ~config c in
+        Alcotest.(check bool) "MuFuzz reports US" true
+          (List.exists (fun (f : O.finding) -> f.cls = O.US) rm.findings));
+  ]
+
+let static_findings p src =
+  match S.analyze p (Minisol.Contract.compile src) with
+  | S.Findings fs -> List.sort_uniq compare (List.map (fun (f : O.finding) -> f.cls) fs)
+  | S.Timeout -> Alcotest.fail "unexpected timeout"
+  | S.Error e -> Alcotest.failf "unexpected error: %s" e
+
+let static_tests =
+  [
+    unit "slither finds US on suicidal" (fun () ->
+        Alcotest.(check bool) "US" true
+          (List.mem O.US (static_findings S.slither Corpus.Examples.suicidal)));
+    unit "slither discounts guarded selfdestruct" (fun () ->
+        let src =
+          {|contract Safe { address owner;
+             function close() public { require(msg.sender == owner); selfdestruct(owner); } }|}
+        in
+        Alcotest.(check bool) "no US" true
+          (not (List.mem O.US (static_findings S.slither src))));
+    unit "oyente over-approximates reentrancy" (fun () ->
+        (* a checked call still gets flagged by the over-approximating tool *)
+        let src =
+          {|contract C { uint256 x;
+             function f() public { bool ok = msg.sender.call.value(1)(); require(ok); } }|}
+        in
+        Alcotest.(check bool) "RE flagged" true
+          (List.mem O.RE (static_findings S.oyente src)));
+    unit "oyente errors on constructor keyword" (fun () ->
+        match S.analyze S.oyente (Minisol.Contract.compile Corpus.Examples.crowdsale) with
+        | S.Error _ -> ()
+        | _ -> Alcotest.fail "expected version error");
+    unit "mythril times out on large programs" (fun () ->
+        let spec =
+          List.hd
+            (Corpus.Generator.population ~seed:42L ~n:1 Corpus.Generator.Large
+               ~bug_rate:0.0)
+        in
+        match S.analyze S.mythril (Corpus.Generator.compile spec) with
+        | S.Timeout -> ()
+        | _ -> Alcotest.fail "expected timeout");
+    unit "securify only reports its two classes" (fun () ->
+        let found = static_findings S.securify Corpus.Examples.simple_dao in
+        Alcotest.(check bool) "subset" true
+          (List.for_all (fun c -> List.mem c S.securify.supports) found));
+    unit "slither finds EF on piggy bank" (fun () ->
+        Alcotest.(check bool) "EF" true
+          (List.mem O.EF (static_findings S.slither Corpus.Examples.piggy_bank)));
+    unit "mythril finds TO on origin auth" (fun () ->
+        Alcotest.(check bool) "TO" true
+          (List.mem O.TO (static_findings S.mythril Corpus.Examples.origin_auth)));
+    unit "static tools cannot see dynamic-only sequence bugs" (fun () ->
+        (* the crowdsale deep-state bug has no syntactic signature *)
+        let found = static_findings S.slither Corpus.Examples.crowdsale in
+        Alcotest.(check bool) "no RE claim" true (not (List.mem O.RE found)));
+  ]
+
+let suite =
+  [ ("baselines: fuzzers", fuzzer_tests); ("baselines: static analyzers", static_tests) ]
+
+let extended_tests =
+  [
+    unit "extended list adds ContractFuzzer and Echidna" (fun () ->
+        Alcotest.(check int) "seven tools" 7 (List.length B.extended);
+        Alcotest.(check bool) "find ContractFuzzer" true (B.find "ContractFuzzer" <> None));
+    unit "ContractFuzzer is black-box" (fun () ->
+        let cfg = B.contractfuzzer.B.configure Mufuzz.Config.default in
+        Alcotest.(check bool) "blackbox" true cfg.blackbox;
+        Alcotest.(check bool) "no distance" true (not cfg.distance_feedback));
+    unit "black-box campaign respects budget and runs" (fun () ->
+        let c = Minisol.Contract.compile Corpus.Examples.crowdsale in
+        let config = { Mufuzz.Config.default with max_executions = 200 } in
+        let r = B.run B.contractfuzzer ~config c in
+        Alcotest.(check int) "budget" 200 r.executions;
+        Alcotest.(check bool) "coverage recorded" true (r.covered_branches > 0));
+    unit "black-box is weaker than MuFuzz on the deep-state target" (fun () ->
+        let c = Minisol.Contract.compile Corpus.Examples.crowdsale in
+        let config = { Mufuzz.Config.default with max_executions = 400 } in
+        let bb = B.run B.contractfuzzer ~config c in
+        let mf = B.run B.mufuzz ~config c in
+        Alcotest.(check bool) "mufuzz >= blackbox" true
+          (mf.covered_branches >= bb.covered_branches));
+  ]
+
+let suite = suite @ [ ("baselines: extended profiles", extended_tests) ]

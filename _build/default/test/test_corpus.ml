@@ -1,0 +1,202 @@
+(* Corpus integrity: every example and suite contract compiles, labels
+   are consistent, and the generator produces deterministic well-typed
+   populations with the advertised size split. *)
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let example_tests =
+  [
+    unit "all examples compile" (fun () ->
+        List.iter
+          (fun (name, src) ->
+            match Minisol.Contract.compile src with
+            | c -> Alcotest.(check string) "name matches" name c.name
+            | exception e ->
+              Alcotest.failf "%s: %s" name (Printexc.to_string e))
+          Corpus.Examples.all);
+    unit "examples have callable functions" (fun () ->
+        List.iter
+          (fun (name, src) ->
+            let c = Minisol.Contract.compile src in
+            if Minisol.Contract.callable_functions c = [] then
+              Alcotest.failf "%s has no public functions" name)
+          Corpus.Examples.all);
+  ]
+
+let vuln_tests =
+  [
+    unit "every suite contract compiles" (fun () ->
+        List.iter
+          (fun (l : Corpus.Vuln.labelled) ->
+            match Corpus.Vuln.compile l with
+            | _ -> ()
+            | exception e -> Alcotest.failf "%s: %s" l.name (Printexc.to_string e))
+          Corpus.Vuln.suite);
+    unit "label totals match Table III positives" (fun () ->
+        let expected =
+          [ (Oracles.Oracle.BD, 20); (UD, 17); (EF, 22); (IO, 65); (RE, 16);
+            (US, 23); (SE, 19); (TO, 2); (UE, 31) ]
+        in
+        List.iter
+          (fun (cls, n) ->
+            Alcotest.(check int)
+              (Oracles.Oracle.class_to_string cls)
+              n (Corpus.Vuln.label_count cls))
+          expected);
+    unit "positives exclude safe controls" (fun () ->
+        Alcotest.(check bool) "fewer positives" true
+          (List.length Corpus.Vuln.positives < List.length Corpus.Vuln.suite);
+        List.iter
+          (fun (l : Corpus.Vuln.labelled) ->
+            if l.labels = [] then Alcotest.failf "%s in positives" l.name)
+          Corpus.Vuln.positives);
+    unit "by_class returns only matching contracts" (fun () ->
+        List.iter
+          (fun (l : Corpus.Vuln.labelled) ->
+            if not (List.mem Oracles.Oracle.RE l.labels) then
+              Alcotest.failf "%s lacks RE" l.name)
+          (Corpus.Vuln.by_class Oracles.Oracle.RE));
+    unit "contract names are unique" (fun () ->
+        let names = List.map (fun (l : Corpus.Vuln.labelled) -> l.name) Corpus.Vuln.suite in
+        Alcotest.(check int) "no duplicates" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+  ]
+
+let generator_tests =
+  [
+    unit "population is deterministic" (fun () ->
+        let a = Corpus.Generator.population ~seed:5L ~n:5 Corpus.Generator.Small ~bug_rate:0.2 in
+        let b = Corpus.Generator.population ~seed:5L ~n:5 Corpus.Generator.Small ~bug_rate:0.2 in
+        List.iter2
+          (fun (x : Corpus.Generator.spec) (y : Corpus.Generator.spec) ->
+            Alcotest.(check string) "same source" x.source y.source)
+          a b);
+    unit "different seeds differ" (fun () ->
+        let a = List.hd (Corpus.Generator.population ~seed:5L ~n:1 Corpus.Generator.Small ~bug_rate:0.0) in
+        let b = List.hd (Corpus.Generator.population ~seed:6L ~n:1 Corpus.Generator.Small ~bug_rate:0.0) in
+        Alcotest.(check bool) "differ" true (a.source <> b.source));
+    unit "every generated contract compiles (small and large)" (fun () ->
+        List.iter
+          (fun size ->
+            List.iter
+              (fun (s : Corpus.Generator.spec) ->
+                match Corpus.Generator.compile s with
+                | _ -> ()
+                | exception e ->
+                  Alcotest.failf "%s: %s\n%s" s.name (Printexc.to_string e) s.source)
+              (Corpus.Generator.population ~seed:77L ~n:15 size ~bug_rate:0.3))
+          [ Corpus.Generator.Small; Corpus.Generator.Large ]);
+    unit "size classes straddle the 3632 threshold" (fun () ->
+        let small =
+          Corpus.Generator.population ~seed:8L ~n:10 Corpus.Generator.Small ~bug_rate:0.0
+          |> List.map Corpus.Generator.compile
+        in
+        let large =
+          Corpus.Generator.population ~seed:9L ~n:10 Corpus.Generator.Large ~bug_rate:0.0
+          |> List.map Corpus.Generator.compile
+        in
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "small <= 3632" true
+              (Minisol.Contract.instruction_count c <= 3632))
+          small;
+        let over =
+          List.length
+            (List.filter (fun c -> Minisol.Contract.instruction_count c > 3632) large)
+        in
+        Alcotest.(check bool) "most large > 3632" true (over >= 8));
+    unit "bug_rate zero injects nothing" (fun () ->
+        List.iter
+          (fun (s : Corpus.Generator.spec) ->
+            Alcotest.(check (list string)) "no injection" []
+              (List.map Oracles.Oracle.class_to_string s.injected))
+          (Corpus.Generator.population ~seed:10L ~n:10 Corpus.Generator.Small ~bug_rate:0.0));
+    unit "bug_rate one injects in every contract" (fun () ->
+        let pop =
+          Corpus.Generator.population ~seed:11L ~n:10 Corpus.Generator.Small ~bug_rate:1.0
+        in
+        List.iter
+          (fun (s : Corpus.Generator.spec) ->
+            Alcotest.(check bool) "has injection" true (s.injected <> []))
+          pop);
+    unit "generated contracts are fuzzable" (fun () ->
+        let spec =
+          List.hd
+            (Corpus.Generator.population ~seed:12L ~n:1 Corpus.Generator.Small
+               ~bug_rate:0.5)
+        in
+        let c = Corpus.Generator.compile spec in
+        let r =
+          Mufuzz.Campaign.run
+            ~config:{ Mufuzz.Config.default with max_executions = 150 } c
+        in
+        Alcotest.(check bool) "covers something" true (r.covered_branches > 0));
+  ]
+
+let suite =
+  [
+    ("corpus: examples", example_tests);
+    ("corpus: vulnerability suite", vuln_tests);
+    ("corpus: generator", generator_tests);
+  ]
+
+let flavor_tests =
+  [
+    unit "RE flavors carry correct co-labels" (fun () ->
+        (* classic DAO (flavor 0) and cross-function (flavor 2) also
+           underflow; withdraw-all (flavor 1) does not *)
+        List.iter
+          (fun (l : Corpus.Vuln.labelled) ->
+            let n = int_of_string (String.sub l.name 3 2) in
+            let expect_io = n mod 3 <> 1 in
+            Alcotest.(check bool)
+              (l.name ^ " IO label")
+              expect_io
+              (List.mem Oracles.Oracle.IO l.labels))
+          (Corpus.Vuln.by_class Oracles.Oracle.RE));
+    unit "suite export writes files" (fun () ->
+        let dir = Filename.temp_file "d2" "" in
+        Sys.remove dir;
+        Corpus.Vuln.write_to_dir dir;
+        Alcotest.(check bool) "labels file" true
+          (Sys.file_exists (Filename.concat dir "LABELS.txt"));
+        Alcotest.(check bool) "a contract file" true
+          (Sys.file_exists (Filename.concat dir "BDv00.sol"));
+        (* exported sources re-parse *)
+        let ic = open_in (Filename.concat dir "REv00.sol") in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        ignore (Minisol.Contract.compile src));
+    unit "every BD variant mentions block state" (fun () ->
+        List.iter
+          (fun (l : Corpus.Vuln.labelled) ->
+            let has needle =
+              let m = String.length needle and n = String.length l.source in
+              let rec go i =
+                i + m <= n && (String.sub l.source i m = needle || go (i + 1))
+              in
+              go 0
+            in
+            Alcotest.(check bool) l.name true
+              (has "block.timestamp" || has "block.number" || has "blockhash"))
+          (Corpus.Vuln.by_class Oracles.Oracle.BD));
+    unit "US magic-kill variants carry a strict constant" (fun () ->
+        let magic =
+          List.filter
+            (fun (l : Corpus.Vuln.labelled) ->
+              let n = int_of_string (String.sub l.name 3 2) in
+              n mod 4 = 3)
+            (Corpus.Vuln.by_class Oracles.Oracle.US)
+        in
+        Alcotest.(check bool) "some exist" true (magic <> []);
+        List.iter
+          (fun (l : Corpus.Vuln.labelled) ->
+            let c = Corpus.Vuln.compile l in
+            (* the kill-switch constant must appear in the dictionary *)
+            let dict = Evm.Bytecode.push_constants c.bytecode in
+            Alcotest.(check bool) (l.name ^ " dict") true (List.length dict > 0))
+          magic);
+  ]
+
+let suite = suite @ [ ("corpus: flavors", flavor_tests) ]

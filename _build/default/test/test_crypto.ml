@@ -1,0 +1,61 @@
+(* Keccak-256 against published test vectors, plus sponge edge cases. *)
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let check_hex msg expect =
+  Alcotest.(check string) "digest" expect (Crypto.Keccak.hash_hex msg)
+
+let vectors =
+  [
+    unit "empty string" (fun () ->
+        check_hex "" "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+    unit "abc" (fun () ->
+        check_hex "abc" "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+    unit "'testing'" (fun () ->
+        check_hex "testing"
+          "5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02");
+    unit "one full rate block (136 bytes)" (fun () ->
+        (* padding must open a fresh block when len = rate *)
+        let msg = String.make 136 'a' in
+        Alcotest.(check int) "len" 64 (String.length (Crypto.Keccak.hash_hex msg)));
+    unit "two blocks" (fun () ->
+        let msg = String.make 300 'b' in
+        Alcotest.(check int) "len" 32 (String.length (Crypto.Keccak.hash msg)));
+    unit "solidity function selector transfer(address,uint256)" (fun () ->
+        (* the canonical ERC-20 selector a9059cbb *)
+        Alcotest.(check string) "selector" "a9059cbb"
+          (Util.Hex.encode (Crypto.Keccak.selector "transfer(address,uint256)")));
+    unit "selector baz(uint32,bool)" (fun () ->
+        (* example from the Solidity ABI specification *)
+        Alcotest.(check string) "selector" "cdcd77c0"
+          (Util.Hex.encode (Crypto.Keccak.selector "baz(uint32,bool)")));
+    unit "hash_word matches big-endian digest" (fun () ->
+        Alcotest.(check string) "word"
+          (Crypto.Keccak.hash_hex "xyz")
+          (let w = Crypto.Keccak.hash_word "xyz" in
+           (* strip 0x and left-pad to 64 *)
+           let h = Word.U256.to_hex_string w in
+           let h = String.sub h 2 (String.length h - 2) in
+           String.make (64 - String.length h) '0' ^ h));
+  ]
+
+let properties =
+  let gen = QCheck2.Gen.(string_size (int_bound 500)) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"digest is 32 bytes" ~count:200 ~print:Util.Hex.encode
+         gen (fun s -> String.length (Crypto.Keccak.hash s) = 32));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"deterministic" ~count:100 ~print:Util.Hex.encode gen
+         (fun s -> Crypto.Keccak.hash s = Crypto.Keccak.hash s));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"single-bit avalanche" ~count:100
+         ~print:Util.Hex.encode
+         QCheck2.Gen.(string_size (int_range 1 100))
+         (fun s ->
+           let b = Bytes.of_string s in
+           Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+           Crypto.Keccak.hash s <> Crypto.Keccak.hash (Bytes.to_string b)));
+  ]
+
+let suite = [ ("keccak: vectors", vectors); ("keccak: properties", properties) ]

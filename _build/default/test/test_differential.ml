@@ -1,0 +1,120 @@
+(* Differential testing: random arithmetic expressions are compiled by
+   Minisol and executed on the EVM; the returned word must equal the
+   reference evaluation with U256 operations. This pins the compiler's
+   operand ordering and the interpreter's arithmetic to each other. *)
+
+module U = Word.U256
+
+(* A random expression over one uint256 parameter [x]: its source text and
+   its reference denotation. *)
+type expr = { src : string; sem : U.t -> U.t }
+
+let gen_expr =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        return { src = "x"; sem = (fun x -> x) };
+        map
+          (fun n ->
+            let n = abs n in
+            { src = string_of_int n; sem = (fun _ -> U.of_int n) })
+          small_int;
+      ]
+  in
+  let node sub =
+    let* a = sub and* b = sub in
+    let* op = oneofl [ `Add; `Sub; `Mul; `Div; `Mod ] in
+    return
+      (match op with
+      | `Add -> { src = Printf.sprintf "(%s + %s)" a.src b.src;
+                  sem = (fun x -> U.add (a.sem x) (b.sem x)) }
+      | `Sub -> { src = Printf.sprintf "(%s - %s)" a.src b.src;
+                  sem = (fun x -> U.sub (a.sem x) (b.sem x)) }
+      | `Mul -> { src = Printf.sprintf "(%s * %s)" a.src b.src;
+                  sem = (fun x -> U.mul (a.sem x) (b.sem x)) }
+      | `Div -> { src = Printf.sprintf "(%s / %s)" a.src b.src;
+                  sem = (fun x -> U.div (a.sem x) (b.sem x)) }
+      | `Mod -> { src = Printf.sprintf "(%s %% %s)" a.src b.src;
+                  sem = (fun x -> U.rem (a.sem x) (b.sem x)) })
+  in
+  let rec build depth = if depth = 0 then leaf else node (build (depth - 1)) in
+  build 3
+
+let gen_input =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun n -> U.of_int (abs n)) int;
+        return U.zero;
+        return U.max_value;
+        return (U.shift_left U.one 128);
+        map (fun n -> U.sub U.max_value (U.of_int (abs n land 0xffff))) int;
+      ])
+
+let run_compiled src_expr x =
+  let source =
+    Printf.sprintf
+      "contract D { function f(uint256 x) public returns (uint256) { return %s; } }"
+      src_expr
+  in
+  let c = Minisol.Contract.compile source in
+  let addr = U.of_int 0xD1 in
+  let st = Minisol.Contract.deploy Evm.State.empty addr c in
+  let f = List.find (fun (f : Abi.func) -> f.Abi.name = "f") c.abi in
+  let _, trace =
+    Evm.Interp.execute ~block:Evm.Interp.default_block ~state:st
+      { caller = U.of_int 0xEE; origin = U.of_int 0xEE; callee = addr;
+        value = U.zero; data = Abi.encode_call f [ Abi.VUint x ];
+        gas = 5_000_000 }
+  in
+  match trace.status with
+  | Evm.Trace.Success -> U.of_bytes_be trace.return_data
+  | s -> Alcotest.failf "execution failed: %s" (Evm.Trace.status_to_string s)
+
+let differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"compiled arithmetic = reference semantics" ~count:60
+       ~print:(fun (e, x) -> Printf.sprintf "%s @ x=%s" e.src (U.to_decimal_string x))
+       QCheck2.Gen.(pair gen_expr gen_input)
+       (fun (e, x) -> U.equal (run_compiled e.src x) (e.sem x)))
+
+let comparison_differential =
+  (* comparisons run through if/else so the JUMPI path is also checked *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"compiled comparisons = reference" ~count:40
+       ~print:(fun (op, (a, b)) ->
+         Printf.sprintf "%s on %s, %s" op (U.to_decimal_string a) (U.to_decimal_string b))
+       QCheck2.Gen.(
+         pair (oneofl [ "<"; ">"; "<="; ">="; "=="; "!=" ]) (pair gen_input gen_input))
+       (fun (op, (a, b)) ->
+         let source =
+           Printf.sprintf
+             "contract C { function f(uint256 a, uint256 b) public returns (uint256) {\n\
+             \  if (a %s b) { return 1; }\n  return 0; } }"
+             op
+         in
+         let c = Minisol.Contract.compile source in
+         let addr = U.of_int 0xD2 in
+         let st = Minisol.Contract.deploy Evm.State.empty addr c in
+         let f = List.find (fun (f : Abi.func) -> f.Abi.name = "f") c.abi in
+         let _, trace =
+           Evm.Interp.execute ~block:Evm.Interp.default_block ~state:st
+             { caller = U.of_int 0xEE; origin = U.of_int 0xEE; callee = addr;
+               value = U.zero;
+               data = Abi.encode_call f [ Abi.VUint a; Abi.VUint b ];
+               gas = 5_000_000 }
+         in
+         let got = U.of_bytes_be trace.return_data in
+         let expect =
+           match op with
+           | "<" -> U.lt a b
+           | ">" -> U.gt a b
+           | "<=" -> U.le a b
+           | ">=" -> U.ge a b
+           | "==" -> U.equal a b
+           | _ -> not (U.equal a b)
+         in
+         U.equal got (if expect then U.one else U.zero)))
+
+let suite = [ ("differential: compiler vs evm", [ differential; comparison_differential ]) ]

@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "mufuzz"
+    (Test_util.suite @ Test_u256.suite @ Test_crypto.suite @ Test_evm.suite
+    @ Test_abi.suite @ Test_minisol.suite @ Test_analysis.suite
+    @ Test_oracles.suite @ Test_mufuzz.suite @ Test_baselines.suite
+    @ Test_corpus.suite @ Test_differential.suite)

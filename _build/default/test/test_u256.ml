@@ -1,0 +1,234 @@
+(* Unit and property tests for the 256-bit word substrate. *)
+
+module U = Word.U256
+
+let u256 = Alcotest.testable U.pp U.equal
+
+(* QCheck generator: mixes full-width random words with small and
+   boundary values, where arithmetic corner cases live. *)
+let gen_u256 =
+  QCheck2.Gen.(
+    oneof
+      [
+        (let* a = int64 and* b = int64 and* c = int64 and* d = int64 in
+         return
+           (U.logor
+              (U.shift_left (U.of_int64 a) 192)
+              (U.logor
+                 (U.shift_left (U.of_int64 b) 128)
+                 (U.logor (U.shift_left (U.of_int64 c) 64) (U.of_int64 d)))));
+        map (fun n -> U.of_int (abs n)) small_int;
+        oneofl [ U.zero; U.one; U.max_value; U.sub U.max_value U.one;
+                 U.shift_left U.one 255; U.sub (U.shift_left U.one 128) U.one ];
+      ])
+
+let print1 = U.to_decimal_string
+let print2 (a, b) = U.to_decimal_string a ^ ", " ^ U.to_decimal_string b
+let print3 (a, b, c) = String.concat ", " (List.map U.to_decimal_string [ a; b; c ])
+
+let gen2 = QCheck2.Gen.pair gen_u256 gen_u256
+let gen3 = QCheck2.Gen.triple gen_u256 gen_u256 gen_u256
+
+let prop1 name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:500 ~print:print1 gen_u256 f)
+
+let prop2 name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:500 ~print:print2 gen2 f)
+
+let prop3 name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:500 ~print:print3 gen3 f)
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let conversions =
+  [
+    unit "of_int/to_int roundtrip" (fun () ->
+        List.iter
+          (fun n -> Alcotest.(check (option int)) "n" (Some n) (U.to_int_opt (U.of_int n)))
+          [ 0; 1; 42; 1_000_000; max_int ]);
+    unit "of_int negative rejected" (fun () ->
+        Alcotest.check_raises "negative" (Invalid_argument "U256.of_int: negative")
+          (fun () -> ignore (U.of_int (-1))));
+    unit "decimal string roundtrip" (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check string) s s (U.to_decimal_string (U.of_decimal_string s)))
+          [ "0"; "1"; "1000000000000000000";
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935";
+            "340282366920938463463374607431768211456" ]);
+    unit "hex string roundtrip" (fun () ->
+        List.iter
+          (fun s -> Alcotest.(check string) s s (U.to_hex_string (U.of_hex_string s)))
+          [ "0x1"; "0xdeadbeef"; "0xffffffffffffffffffffffffffffffff" ]);
+    unit "max_value is 2^256-1" (fun () ->
+        Alcotest.check u256 "max+1=0" U.zero (U.add U.max_value U.one));
+    unit "of_bytes_be short strings left-pad" (fun () ->
+        Alcotest.check u256 "0xff" (U.of_int 255) (U.of_bytes_be "\xff"));
+    unit "to_bytes_be length 32" (fun () ->
+        Alcotest.(check int) "len" 32 (String.length (U.to_bytes_be U.one)));
+    unit "signed int conversion" (fun () ->
+        Alcotest.check u256 "-1" U.max_value (U.of_signed_int (-1));
+        Alcotest.check u256 "-2" (U.sub U.max_value U.one) (U.of_signed_int (-2)));
+    prop1 "bytes_be roundtrip" (fun a ->
+        U.equal a (U.of_bytes_be (U.to_bytes_be a)));
+    prop1 "decimal roundtrip" (fun a ->
+        U.equal a (U.of_decimal_string (U.to_decimal_string a)));
+    prop1 "hex roundtrip" (fun a -> U.equal a (U.of_hex_string (U.to_hex_string a)));
+  ]
+
+let ring_laws =
+  [
+    prop2 "add commutative" (fun (a, b) -> U.equal (U.add a b) (U.add b a));
+    prop3 "add associative" (fun (a, b, c) ->
+        U.equal (U.add (U.add a b) c) (U.add a (U.add b c)));
+    prop2 "mul commutative" (fun (a, b) -> U.equal (U.mul a b) (U.mul b a));
+    prop3 "mul associative" (fun (a, b, c) ->
+        U.equal (U.mul (U.mul a b) c) (U.mul a (U.mul b c)));
+    prop3 "mul distributes over add" (fun (a, b, c) ->
+        U.equal (U.mul a (U.add b c)) (U.add (U.mul a b) (U.mul a c)));
+    prop2 "sub inverts add" (fun (a, b) -> U.equal (U.sub (U.add a b) b) a);
+    prop1 "neg is additive inverse" (fun a -> U.is_zero (U.add a (U.neg a)));
+    prop1 "zero is add identity" (fun a -> U.equal (U.add a U.zero) a);
+    prop1 "one is mul identity" (fun a -> U.equal (U.mul a U.one) a);
+  ]
+
+let division =
+  [
+    prop2 "divmod identity" (fun (a, b) ->
+        if U.is_zero b then true
+        else
+          let q, r = U.divmod a b in
+          U.equal a (U.add (U.mul q b) r) && U.lt r b);
+    prop1 "div by zero is zero (EVM)" (fun a -> U.is_zero (U.div a U.zero));
+    prop1 "rem by zero is zero (EVM)" (fun a -> U.is_zero (U.rem a U.zero));
+    prop1 "div self is one" (fun a ->
+        U.is_zero a || U.equal (U.div a a) U.one);
+    unit "sdiv truncates toward zero" (fun () ->
+        let m7 = U.of_signed_int (-7) and p2 = U.of_int 2 in
+        Alcotest.check u256 "-7 sdiv 2 = -3" (U.of_signed_int (-3)) (U.sdiv m7 p2);
+        Alcotest.check u256 "7 sdiv -2 = -3" (U.of_signed_int (-3))
+          (U.sdiv (U.of_int 7) (U.of_signed_int (-2))));
+    unit "sdiv min/-1 wraps to min (EVM)" (fun () ->
+        let min_signed = U.shift_left U.one 255 in
+        Alcotest.check u256 "min" min_signed (U.sdiv min_signed U.max_value));
+    unit "srem takes dividend sign" (fun () ->
+        Alcotest.check u256 "-7 smod 2 = -1" (U.of_signed_int (-1))
+          (U.srem (U.of_signed_int (-7)) (U.of_int 2));
+        Alcotest.check u256 "7 smod -2 = 1" U.one
+          (U.srem (U.of_int 7) (U.of_signed_int (-2))));
+    prop3 "add_mod matches small ints" (fun (a, b, m) ->
+        let a = U.rem a (U.of_int 10000) and b = U.rem b (U.of_int 10000) in
+        let m = U.add (U.rem m (U.of_int 9999)) U.one in
+        let expect =
+          (U.to_int_exn a + U.to_int_exn b) mod U.to_int_exn m
+        in
+        U.equal (U.add_mod a b m) (U.of_int expect));
+    prop3 "mul_mod matches small ints" (fun (a, b, m) ->
+        let a = U.rem a (U.of_int 10000) and b = U.rem b (U.of_int 10000) in
+        let m = U.add (U.rem m (U.of_int 9999)) U.one in
+        let expect =
+          U.to_int_exn a * U.to_int_exn b mod U.to_int_exn m
+        in
+        U.equal (U.mul_mod a b m) (U.of_int expect));
+    unit "add_mod handles 257-bit sums" (fun () ->
+        (* (2^256-1 + 2^256-1) mod (2^256-1) = 0 *)
+        Alcotest.check u256 "wrap" U.zero
+          (U.add_mod U.max_value U.max_value U.max_value);
+        (* (max + max) mod (max-1): max mod (max-1) = 1 each, sum 2 *)
+        Alcotest.check u256 "wrap2" (U.of_int 2)
+          (U.add_mod U.max_value U.max_value (U.sub U.max_value U.one)));
+    unit "exp small cases" (fun () ->
+        Alcotest.check u256 "2^10" (U.of_int 1024) (U.exp (U.of_int 2) (U.of_int 10));
+        Alcotest.check u256 "x^0" U.one (U.exp (U.of_int 12345) U.zero);
+        Alcotest.check u256 "0^0 = 1 (EVM)" U.one (U.exp U.zero U.zero));
+    prop1 "exp matches repeated mul" (fun a ->
+        let e = 3 in
+        U.equal (U.exp a (U.of_int e)) (U.mul a (U.mul a a)));
+  ]
+
+let comparison =
+  [
+    prop2 "compare total order antisym" (fun (a, b) ->
+        U.compare a b = -U.compare b a);
+    prop2 "lt iff compare < 0" (fun (a, b) -> U.lt a b = (U.compare a b < 0));
+    prop2 "le = lt or eq" (fun (a, b) -> U.le a b = (U.lt a b || U.equal a b));
+    prop2 "slt on sign split" (fun (a, b) ->
+        match (U.is_neg a, U.is_neg b) with
+        | true, false -> U.slt a b
+        | false, true -> not (U.slt a b)
+        | _ -> U.slt a b = U.lt a b);
+    prop2 "abs_difference symmetric" (fun (a, b) ->
+        U.equal (U.abs_difference a b) (U.abs_difference b a));
+    prop2 "min/max round trip" (fun (a, b) ->
+        U.equal (U.add (U.min a b) (U.max a b)) (U.add a b));
+  ]
+
+let bitwise =
+  [
+    prop1 "lognot involutive" (fun a -> U.equal a (U.lognot (U.lognot a)));
+    prop1 "and with self" (fun a -> U.equal a (U.logand a a));
+    prop1 "xor with self is zero" (fun a -> U.is_zero (U.logxor a a));
+    prop2 "de morgan" (fun (a, b) ->
+        U.equal (U.lognot (U.logand a b)) (U.logor (U.lognot a) (U.lognot b)));
+    prop1 "shift_left is mul by 2^k" (fun a ->
+        let k = 7 in
+        U.equal (U.shift_left a k) (U.mul a (U.of_int 128)));
+    prop1 "shift_right is div by 2^k" (fun a ->
+        let k = 13 in
+        U.equal (U.shift_right a k) (U.div a (U.shift_left U.one k)));
+    prop1 "shift roundtrip low bits" (fun a ->
+        let k = 64 in
+        U.equal (U.shift_right (U.shift_left a k) k)
+          (U.logand a (U.sub (U.shift_left U.one (256 - k)) U.one)));
+    unit "shifts >= 256 give zero" (fun () ->
+        Alcotest.check u256 "shl" U.zero (U.shift_left U.max_value 256);
+        Alcotest.check u256 "shr" U.zero (U.shift_right U.max_value 300));
+    unit "sar propagates sign" (fun () ->
+        Alcotest.check u256 "neg" U.max_value (U.shift_right_arith U.max_value 10);
+        Alcotest.check u256 "neg full" U.max_value
+          (U.shift_right_arith (U.shift_left U.one 255) 256);
+        Alcotest.check u256 "pos" (U.of_int 1) (U.shift_right_arith (U.of_int 2) 1));
+    unit "byte extracts from big end" (fun () ->
+        let x = U.of_hex_string "0xaabbcc" in
+        Alcotest.check u256 "byte31" (U.of_int 0xcc) (U.byte 31 x);
+        Alcotest.check u256 "byte30" (U.of_int 0xbb) (U.byte 30 x);
+        Alcotest.check u256 "byte0" U.zero (U.byte 0 x);
+        Alcotest.check u256 "byte32" U.zero (U.byte 32 x));
+    unit "sign_extend" (fun () ->
+        Alcotest.check u256 "0xff k=0 -> -1" U.max_value
+          (U.sign_extend 0 (U.of_int 0xff));
+        Alcotest.check u256 "0x7f k=0 -> 0x7f" (U.of_int 0x7f)
+          (U.sign_extend 0 (U.of_int 0x7f));
+        Alcotest.check u256 "k>=31 identity" (U.of_int 0xff)
+          (U.sign_extend 31 (U.of_int 0xff)));
+    prop1 "bit_length bounds" (fun a ->
+        let n = U.bit_length a in
+        if U.is_zero a then n = 0
+        else
+          n >= 1 && n <= 256
+          && (n = 256 || U.lt a (U.shift_left U.one n))
+          && U.ge a (U.shift_left U.one (n - 1)));
+  ]
+
+let misc =
+  [
+    prop2 "to_float monotone-ish" (fun (a, b) ->
+        if U.lt a b then U.to_float a <= U.to_float b else true);
+    unit "to_float exact small" (fun () ->
+        Alcotest.(check (float 0.0)) "42" 42.0 (U.to_float (U.of_int 42)));
+    prop1 "hash equal on equal" (fun a ->
+        U.hash a = U.hash (U.of_bytes_be (U.to_bytes_be a)));
+  ]
+
+let suite =
+  [
+    ("u256: conversions", conversions);
+    ("u256: ring laws", ring_laws);
+    ("u256: division", division);
+    ("u256: comparison", comparison);
+    ("u256: bitwise", bitwise);
+    ("u256: misc", misc);
+  ]
