@@ -11,7 +11,7 @@ let run_population name contracts budget =
   List.map
     (fun (p : Baselines.Fuzzers.profile) ->
       let reports =
-        List.map (fun c -> Exp.run_tool p ~budget c) contracts
+        Exp.map_contracts (fun c -> Exp.run_tool p ~budget c) contracts
       in
       (p.name, reports))
     fuzzers

@@ -12,6 +12,30 @@ let scale = ref 1.0
 
 let scaled n = Stdlib.max 1 (int_of_float (float_of_int n *. !scale))
 
+(* Cross-contract sharding: with [--jobs N] the per-population maps run
+   N contracts at a time on a shared domain pool (each contract's
+   campaign stays sequential, so per-contract results are identical to a
+   [--jobs 1] run — only wall time changes). *)
+let jobs = ref 1
+
+let shared_pool : Mufuzz.Pool.t option ref = ref None
+
+let pool () =
+  if !jobs <= 1 then None
+  else
+    match !shared_pool with
+    | Some p -> Some p
+    | None ->
+      let p = Mufuzz.Pool.create ~jobs:!jobs in
+      shared_pool := Some p;
+      at_exit (fun () -> Mufuzz.Pool.shutdown p);
+      Some p
+
+let map_contracts f contracts =
+  match pool () with
+  | Some p -> Mufuzz.Pool.map p f contracts
+  | None -> List.map f contracts
+
 (* deterministic per-contract seed so every tool sees the same draw *)
 let seed_of_name name =
   let h = Hashtbl.hash name in
@@ -95,5 +119,13 @@ let write_csv name headers rows =
       output_string oc (String.concat "," row);
       output_char oc '\n')
     rows;
+  close_out oc;
+  Printf.printf "[data] wrote %s\n%!" path
+
+let write_file name content =
+  (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat results_dir name in
+  let oc = open_out path in
+  output_string oc content;
   close_out oc;
   Printf.printf "[data] wrote %s\n%!" path

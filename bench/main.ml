@@ -6,7 +6,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|fig5|fig6|table3|fig7|table4|case_study|cache|micro|all] [--scale S]";
+    "usage: main.exe [table1|table2|fig5|fig6|table3|fig7|table4|case_study|cache|micro|parallel|all] [--scale S] [--jobs N]";
   exit 1
 
 let () =
@@ -15,6 +15,9 @@ let () =
     | [] -> List.rev targets
     | "--scale" :: s :: rest ->
       (try Exp.scale := float_of_string s with _ -> usage ());
+      parse targets rest
+    | "--jobs" :: n :: rest ->
+      (try Exp.jobs := Stdlib.max 1 (int_of_string n) with _ -> usage ());
       parse targets rest
     | t :: rest -> parse (t :: targets) rest
   in
@@ -40,6 +43,7 @@ let () =
     | "table4" -> Realworld_exp.run ()
     | "case_study" -> Case_study.run ()
     | "micro" -> Micro.run ()
+    | "parallel" -> Micro.parallel ()
     | "cache" -> Cache_exp.run ()
     | "all" ->
       Tables.table1 ();

@@ -53,6 +53,57 @@ let benches =
   [ keccak_bench; u256_mul_bench; u256_divmod_bench; tx_bench; mutation_bench;
     campaign_bench ]
 
+(* Parallel campaign throughput: same contract and budget at jobs=1,2,4,
+   reported as execs/sec and dumped to bench_results/BENCH_parallel.json.
+   Scaling tops out at the host's core count, so the JSON records
+   [host_cores] alongside the measurements. *)
+let parallel () =
+  Exp.section "Parallel campaign throughput (jobs = 1, 2, 4)";
+  let c = Lazy.force contract in
+  let budget = Exp.scaled 3000 in
+  let measure jobs =
+    let config =
+      { Mufuzz.Config.default with max_executions = budget; jobs }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Mufuzz.Campaign.run_parallel ~config c in
+    let wall = Unix.gettimeofday () -. t0 in
+    (r.Mufuzz.Report.executions, wall)
+  in
+  ignore (measure 1) (* warm-up: fault in code paths before timing *);
+  let rows =
+    List.map
+      (fun jobs ->
+        let execs, wall = measure jobs in
+        let rate = float_of_int execs /. wall in
+        Printf.printf "  jobs=%d  %6d execs  %6.2fs  %8.1f execs/sec\n%!"
+          jobs execs wall rate;
+        (jobs, execs, wall, rate))
+      [ 1; 2; 4 ]
+  in
+  let base = match rows with (_, _, _, r) :: _ -> r | [] -> 1.0 in
+  let host_cores = Domain.recommended_domain_count () in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"MuFuzz campaign on crowdsale.sol, budget %d, seed %Ld\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"note\": \"speedup is bounded by host_cores; on a single-core host all job counts time-slice one CPU\",\n\
+      \  \"results\": [\n%s\n\
+      \  ]\n\
+       }\n"
+      budget Mufuzz.Config.default.rng_seed host_cores
+      (String.concat ",\n"
+         (List.map
+            (fun (jobs, execs, wall, rate) ->
+              Printf.sprintf
+                "    { \"jobs\": %d, \"execs\": %d, \"wall_seconds\": %.3f, \
+                 \"execs_per_sec\": %.1f, \"speedup\": %.2f }"
+                jobs execs wall rate (rate /. base))
+            rows))
+  in
+  Exp.write_file "BENCH_parallel.json" json
+
 let run () =
   Exp.section "Micro-benchmarks (bechamel, ns per run)";
   let ols =

@@ -41,6 +41,12 @@ let seed_arg =
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED"
          ~doc:"Campaign RNG seed (campaigns are deterministic per seed).")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for the campaign. 1 (the default) runs the \
+               sequential loop; N>1 shards seed-energy batches across N \
+               cores, merging coverage at batch boundaries.")
+
 let tool_arg =
   Arg.(value & opt string "MuFuzz" & info [ "tool" ] ~docv:"TOOL"
          ~doc:"Fuzzer profile: MuFuzz, sFuzz, ConFuzzius, Smartian, IR-Fuzz.")
@@ -74,8 +80,8 @@ let ablation_arg =
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
-  let run file budget seed tool disabled out do_minimize corpus_in corpus_out
-      verbose =
+  let run file budget seed jobs tool disabled out do_minimize corpus_in
+      corpus_out verbose =
     setup_logs verbose;
     let contract = load file in
     let profile =
@@ -86,7 +92,8 @@ let fuzz_cmd =
         exit 1
     in
     let config =
-      { Mufuzz.Config.default with max_executions = budget; rng_seed = seed }
+      { Mufuzz.Config.default with max_executions = budget; rng_seed = seed;
+        jobs = Stdlib.max 1 jobs }
     in
     let config =
       List.fold_left
@@ -113,12 +120,22 @@ let fuzz_cmd =
       end
       | None -> config
     in
-    Printf.printf "fuzzing %s with %s (budget %d, seed %Ld)\n"
-      contract.Minisol.Contract.name profile.name budget seed;
+    Printf.printf "fuzzing %s with %s (budget %d, seed %Ld, jobs %d)\n"
+      contract.Minisol.Contract.name profile.name budget seed config.jobs;
     Printf.printf "sequence: [%s]\n\n"
       (String.concat " -> " (Mufuzz.Campaign.derive_sequence contract));
     let report = Baselines.Fuzzers.run profile ~config contract in
     Format.printf "%a@." Mufuzz.Report.pp_summary report;
+    (match report.parallel with
+    | Some p ->
+      Printf.printf "parallel: %d domains, %d rounds, %.2fs merging, %d steals\n"
+        p.jobs p.rounds p.merge_seconds p.steals;
+      List.iter
+        (fun (d : Mufuzz.Report.domain_stat) ->
+          Printf.printf "  domain %d: %d execs, %.1f execs/sec, %.2fs stall\n"
+            d.domain d.d_execs (Mufuzz.Report.execs_per_sec d) d.stall_seconds)
+        p.domains
+    | None -> ());
     List.iter
       (fun ((f : Oracles.Oracle.finding), witness) ->
         Format.printf "@.%a@.  %s@.  witness: %s@." Oracles.Oracle.pp_finding f
@@ -154,8 +171,9 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a contract and report coverage and findings.")
-    Term.(const run $ file_arg $ budget_arg $ seed_arg $ tool_arg $ ablation_arg
-          $ out_arg $ minimize_arg $ corpus_in_arg $ corpus_out_arg $ verbose_arg)
+    Term.(const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ tool_arg
+          $ ablation_arg $ out_arg $ minimize_arg $ corpus_in_arg $ corpus_out_arg
+          $ verbose_arg)
 
 (* ---------------- analyze ---------------- *)
 

@@ -125,8 +125,10 @@ let extended = all @ [ contractfuzzer; echidna ]
 
 let find name = List.find_opt (fun p -> p.name = name) extended
 
-let run profile ?(config = C.default) contract =
-  let report = Mufuzz.Campaign.run ~config:(profile.configure config) contract in
+let run profile ?(config = C.default) ?pool contract =
+  let report =
+    Mufuzz.Campaign.run_parallel ~config:(profile.configure config) ?pool contract
+  in
   let keep (f : O.finding) = List.mem f.cls profile.supports in
   {
     report with

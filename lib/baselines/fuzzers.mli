@@ -46,6 +46,12 @@ val extended : profile list
 val find : string -> profile option
 
 val run :
-  profile -> ?config:Mufuzz.Config.t -> Minisol.Contract.t -> Mufuzz.Report.t
+  profile ->
+  ?config:Mufuzz.Config.t ->
+  ?pool:Mufuzz.Pool.t ->
+  Minisol.Contract.t ->
+  Mufuzz.Report.t
 (** Run the tool's campaign; the report's findings are filtered to the
-    tool's supported classes. *)
+    tool's supported classes. Runs through {!Mufuzz.Campaign.run_parallel},
+    so [config.jobs] (or an explicit [pool]) shards the campaign across
+    worker domains; the default [jobs = 1] is the sequential loop. *)

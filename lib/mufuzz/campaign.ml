@@ -17,7 +17,7 @@ let derive_sequence (contract : Minisol.Contract.t) =
 
 (* Branches whose within-transaction ordinal is >= 2 — the paper's
    "nested branch" (at least two enclosing conditional statements). *)
-let nested_hits_of_run (run : Executor.run) =
+let nested_hits_of_results (results : Executor.tx_result list) =
   List.concat_map
     (fun (r : Executor.tx_result) ->
       let _, acc =
@@ -30,16 +30,20 @@ let nested_hits_of_run (run : Executor.run) =
           (0, []) r.trace.events
       in
       acc)
-    run.tx_results
+    results
   |> List.sort_uniq compare
 
-let path_of_run (run : Executor.run) =
+let nested_hits_of_run (run : Executor.run) = nested_hits_of_results run.tx_results
+
+let path_of_results (results : Executor.tx_result list) =
   List.concat_map
     (fun (r : Executor.tx_result) -> Evm.Trace.branches r.trace)
-    run.tx_results
+    results
   |> List.sort_uniq compare
 
-let frontier_dists_of_run coverage (run : Executor.run) =
+let path_of_run (run : Executor.run) = path_of_results run.tx_results
+
+let frontier_dists_of_results coverage (results : Executor.tx_result list) =
   let frontier = Coverage.uncovered_frontier coverage in
   List.filter_map
     (fun br ->
@@ -49,20 +53,129 @@ let frontier_dists_of_run coverage (run : Executor.run) =
             match Coverage.trace_min_distance r.trace br with
             | Some d -> (match acc with Some a when a <= d -> acc | _ -> Some d)
             | None -> acc)
-          None run.tx_results
+          None results
       in
       Option.map (fun d -> (br, d)) best)
     frontier
 
+let frontier_dists_of_run coverage (run : Executor.run) =
+  frontier_dists_of_results coverage run.tx_results
+
+(* Immutable per-contract context, derived once and shared read-only by
+   the sequential loop and every worker domain. *)
+type ctx = {
+  x_config : Config.t;
+  x_contract : Minisol.Contract.t;
+  x_info : Analysis.Statevars.t;
+  x_cfg : Analysis.Cfg.t;
+  x_dict : Word.U256.t array;
+  x_static : Oracles.Oracle.static_info;
+  x_abi : Abi.func list;
+}
+
+let make_ctx config (contract : Minisol.Contract.t) =
+  {
+    x_config = config;
+    x_contract = contract;
+    x_info = Analysis.Statevars.analyze contract.ast;
+    x_cfg = Analysis.Cfg.build contract.bytecode;
+    (* contract-specific magic numbers for the mutation dictionary *)
+    x_dict = Array.of_list (Evm.Bytecode.push_constants contract.bytecode);
+    x_static = Oracles.Oracle.static_info_of contract;
+    x_abi = contract.abi;
+  }
+
+(* ---------------- initial seeds ---------------- *)
+
+let base_sequence ctx rng =
+  match ctx.x_config.Config.sequence_mode with
+  | Config.Seq_random -> Analysis.Sequence.random_sequence rng ctx.x_info
+  | Config.Seq_dataflow -> Analysis.Sequence.derive_base ctx.x_info
+  | Config.Seq_dataflow_repeat -> Analysis.Sequence.derive ctx.x_info
+
+let new_seed ctx rng =
+  let config = ctx.x_config in
+  let seed =
+    Seed.of_sequence ~dict:ctx.x_dict rng ~n_senders:config.n_senders ctx.x_abi
+      ("constructor" :: base_sequence ctx rng)
+  in
+  if not config.prolongation then seed
+  else begin
+    (* IR-Fuzz-style prolongation: stretch the tail with extra calls *)
+    let fns = Minisol.Contract.callable_functions ctx.x_contract in
+    if fns = [] then seed
+    else
+      let extra =
+        List.init (1 + Util.Rng.int rng 3) (fun _ ->
+            Seed.random_tx ~dict:ctx.x_dict rng ~n_senders:config.n_senders
+              (Util.Rng.choose_list rng fns))
+      in
+      { Seed.txs = seed.txs @ extra }
+  end
+
+(* ---------------- sequence-level mutation (§IV-A, continuing) ------- *)
+
+let mutate_sequence ctx rng (seed : Seed.t) =
+  let config = ctx.x_config in
+  let info = ctx.x_info in
+  match seed.txs with
+  | [] | [ _ ] -> seed
+  | ctor :: rest -> begin
+    let rest = Array.of_list rest in
+    let n = Array.length rest in
+    (match
+       (* RAW-targeted duplication and sequence extension are the §IV-A
+          moves of the full system. Baselines mutate the ORDER of their
+          sequences (the paper's §III-B point is precisely that they
+          cannot make a transaction run twice); IR-Fuzz's extension
+          happens at seed creation via prolongation instead. *)
+       if config.sequence_mode = Config.Seq_dataflow_repeat then Util.Rng.int rng 3
+       else 1
+     with
+    | 0 ->
+      (* duplicate a transaction whose function the RAW rule marks as
+         repeatable (fall back to any) *)
+      let candidates =
+        Array.to_list rest
+        |> List.filter (fun (tx : Seed.tx) ->
+               match Analysis.Statevars.info info tx.fn.Abi.name with
+               | Some fi -> Analysis.Statevars.should_repeat info fi
+               | None -> false)
+      in
+      let tx =
+        match candidates with
+        | [] -> rest.(Util.Rng.int rng n)
+        | l -> Util.Rng.choose_list rng l
+      in
+      let pos = Util.Rng.int rng (n + 1) in
+      let l = Array.to_list rest in
+      let before = List.filteri (fun i _ -> i < pos) l in
+      let after = List.filteri (fun i _ -> i >= pos) l in
+      { Seed.txs = ctor :: (before @ [ tx ] @ after) }
+    | 1 when n >= 2 ->
+      let i = Util.Rng.int rng n and j = Util.Rng.int rng n in
+      let tmp = rest.(i) in
+      rest.(i) <- rest.(j);
+      rest.(j) <- tmp;
+      { Seed.txs = ctor :: Array.to_list rest }
+    | _ ->
+      (* append a random callable *)
+      let fns = Minisol.Contract.callable_functions ctx.x_contract in
+      if fns = [] then seed
+      else
+        let fn = Util.Rng.choose_list rng fns in
+        { Seed.txs = ctor :: (Array.to_list rest
+                              @ [ Seed.random_tx ~dict:ctx.x_dict rng
+                                    ~n_senders:config.n_senders fn ]) })
+  end
+
 let run ?(config = Config.default) (contract : Minisol.Contract.t) =
   let start_time = Unix.gettimeofday () in
   let rng = Util.Rng.create config.rng_seed in
-  let info = Analysis.Statevars.analyze contract.ast in
-  let cfg = Analysis.Cfg.build contract.bytecode in
-  (* contract-specific magic numbers for the mutation dictionary *)
-  let dict = Array.of_list (Evm.Bytecode.push_constants contract.bytecode) in
-  let static = Oracles.Oracle.static_info_of contract in
-  let abi = contract.abi in
+  let ctx = make_ctx config contract in
+  let cfg = ctx.x_cfg in
+  let dict = ctx.x_dict in
+  let static = ctx.x_static in
   let coverage = Coverage.create () in
   let findings_tbl : (Oracles.Oracle.bug_class * int, unit) Hashtbl.t =
     Hashtbl.create 16
@@ -139,31 +252,7 @@ let run ?(config = Config.default) (contract : Minisol.Contract.t) =
     }
   in
   (* ---------------- initial seeds ---------------- *)
-  let base_sequence () =
-    match config.sequence_mode with
-    | Config.Seq_random -> Analysis.Sequence.random_sequence rng info
-    | Config.Seq_dataflow -> Analysis.Sequence.derive_base info
-    | Config.Seq_dataflow_repeat -> Analysis.Sequence.derive info
-  in
-  let new_seed () =
-    let seed =
-      Seed.of_sequence ~dict rng ~n_senders:config.n_senders abi
-        ("constructor" :: base_sequence ())
-    in
-    if not config.prolongation then seed
-    else begin
-      (* IR-Fuzz-style prolongation: stretch the tail with extra calls *)
-      let fns = Minisol.Contract.callable_functions contract in
-      if fns = [] then seed
-      else
-        let extra =
-          List.init (1 + Util.Rng.int rng 3) (fun _ ->
-              Seed.random_tx ~dict rng ~n_senders:config.n_senders
-                (Util.Rng.choose_list rng fns))
-        in
-        { Seed.txs = seed.txs @ extra }
-    end
-  in
+  let new_seed () = new_seed ctx rng in
   let queue : entry array ref = ref [||] in
   let queue_add e =
     let cap = 128 in
@@ -253,58 +342,7 @@ let run ?(config = Config.default) (contract : Minisol.Contract.t) =
         Some m
       end
   in
-  (* ---------------- sequence-level mutation (§IV-A, continuing) ------- *)
-  let mutate_sequence (seed : Seed.t) =
-    match seed.txs with
-    | [] | [ _ ] -> seed
-    | ctor :: rest -> begin
-      let rest = Array.of_list rest in
-      let n = Array.length rest in
-      (match
-         (* RAW-targeted duplication and sequence extension are the §IV-A
-            moves of the full system. Baselines mutate the ORDER of their
-            sequences (the paper's §III-B point is precisely that they
-            cannot make a transaction run twice); IR-Fuzz's extension
-            happens at seed creation via prolongation instead. *)
-         if config.sequence_mode = Config.Seq_dataflow_repeat then Util.Rng.int rng 3
-         else 1
-       with
-      | 0 ->
-        (* duplicate a transaction whose function the RAW rule marks as
-           repeatable (fall back to any) *)
-        let candidates =
-          Array.to_list rest
-          |> List.filter (fun (tx : Seed.tx) ->
-                 match Analysis.Statevars.info info tx.fn.Abi.name with
-                 | Some fi -> Analysis.Statevars.should_repeat info fi
-                 | None -> false)
-        in
-        let tx =
-          match candidates with
-          | [] -> rest.(Util.Rng.int rng n)
-          | l -> Util.Rng.choose_list rng l
-        in
-        let pos = Util.Rng.int rng (n + 1) in
-        let l = Array.to_list rest in
-        let before = List.filteri (fun i _ -> i < pos) l in
-        let after = List.filteri (fun i _ -> i >= pos) l in
-        { Seed.txs = ctor :: (before @ [ tx ] @ after) }
-      | 1 when n >= 2 ->
-        let i = Util.Rng.int rng n and j = Util.Rng.int rng n in
-        let tmp = rest.(i) in
-        rest.(i) <- rest.(j);
-        rest.(j) <- tmp;
-        { Seed.txs = ctor :: Array.to_list rest }
-      | _ ->
-        (* append a random callable *)
-        let fns = Minisol.Contract.callable_functions contract in
-        if fns = [] then seed
-        else
-          let fn = Util.Rng.choose_list rng fns in
-          { Seed.txs = ctor :: (Array.to_list rest
-                                @ [ Seed.random_tx ~dict rng ~n_senders:config.n_senders fn ]) })
-    end
-  in
+  let mutate_sequence seed = mutate_sequence ctx rng seed in
   (* ---------------- main loop ---------------- *)
   (* black-box mode: no feedback, fresh random seeds until the budget ends *)
   if config.blackbox then
@@ -410,4 +448,542 @@ let run ?(config = Config.default) (contract : Minisol.Contract.t) =
     seeds_in_queue = Array.length !queue;
     corpus = Array.to_list !queue |> List.map (fun e -> e.seed);
     wall_seconds = Unix.gettimeofday () -. start_time;
+    parallel = None;
   }
+
+(* ==================== parallel campaign (domain pool) ====================
+
+   Round-based coordinator/worker split. The coordinator owns every
+   feedback structure of Algorithm 1 (seed queue, global coverage,
+   branch-distance pool, energy weight table, findings); workers own
+   nothing but a coverage snapshot, a private RNG stream and a
+   per-domain executor state cache. Each round the coordinator picks up
+   to [jobs] distinct seeds with the sequential selection policy,
+   reserves disjoint slices of the execution budget as quotas, and ships
+   one seed-energy batch per worker. Workers run the exact inner
+   mutation loop of [run] against their local coverage copy and return
+   candidates; the coordinator merges results in task order, so
+   Algorithms 2-3 semantics are unchanged — only freshness is judged
+   against a snapshot that can be one batch stale, which costs at most a
+   few duplicate queue entries, never a lost one. *)
+
+type cand_kind = Cand_fresh | Cand_improving
+
+type cand = {
+  c_seed : Seed.t;
+  c_tx_results : Executor.tx_result list;
+  c_kind : cand_kind;
+}
+
+type task_result = {
+  t_worker : int;
+  t_execs : int;
+  t_probes : int;
+  t_cands : cand list;  (* execution order *)
+  t_findings : (Oracles.Oracle.finding * Seed.t) list;  (* execution order *)
+  t_weights : ((int * bool) * float) list;
+  t_cov : Coverage.t;
+}
+
+(* One seed-energy batch, run on a worker domain. Mirrors the inner
+   energy loop of [run] exactly, with the global budget replaced by the
+   reserved [quota], the global mask-probe budget by [mask_allowance],
+   and freshness judged against the private [cov] snapshot. *)
+let fuzz_entry_task ctx ~caches ~entry ~energy ~quota ~mask_allowance
+    ~best_snapshot ~cov rng worker =
+  let config = ctx.x_config in
+  let execs = ref 0 and probes = ref 0 in
+  let cands = ref [] and findings = ref [] and weights = ref [] in
+  let quota_left () = !execs < quota in
+  let cache = caches.(worker) in
+  let exec_and_observe seed =
+    let run =
+      Executor.run_seed ~contract:ctx.x_contract ~gas:config.gas_per_tx
+        ~n_senders:config.n_senders ~attacker:config.attacker_enabled ?cache seed
+    in
+    incr execs;
+    let fresh =
+      List.fold_left
+        (fun fresh (r : Executor.tx_result) -> Coverage.record cov r.trace || fresh)
+        false run.tx_results
+    in
+    let executions =
+      List.map (fun (r : Executor.tx_result) -> (r.tx_index, r.success, r.trace))
+        run.tx_results
+    in
+    List.iter
+      (fun (f : Oracles.Oracle.finding) -> findings := (f, seed) :: !findings)
+      (Oracles.Oracle.inspect_campaign ~static:ctx.x_static
+         ~received_value:run.received_value executions);
+    if config.dynamic_energy && fresh then
+      List.iter
+        (fun (r : Executor.tx_result) ->
+          List.iter
+            (fun (wb : Analysis.Prefix.weighted_branch) ->
+              weights := ((wb.pc, wb.taken), wb.weight) :: !weights)
+            (Analysis.Prefix.analyze_trace ~params:config.prefix_params ctx.x_cfg
+               r.trace))
+        run.tx_results;
+    (run, fresh)
+  in
+  let get_mask tx_index =
+    match Hashtbl.find_opt entry.masks tx_index with
+    | Some m -> Some m
+    | None when !probes >= mask_allowance -> None
+    | None ->
+      let tx = List.nth entry.seed.txs tx_index in
+      let baseline_nested = entry.nested_hits in
+      let baseline_dists = entry.frontier_dists in
+      if baseline_nested = [] && baseline_dists = [] then None
+      else begin
+        let probe mutant_stream =
+          if (not (quota_left ())) || !probes >= mask_allowance then
+            { Mask.hits_nested = false; distance_decreased = false }
+          else begin
+            let probe_seed =
+              Seed.with_tx entry.seed tx_index { tx with stream = mutant_stream }
+            in
+            incr probes;
+            let run, _ = exec_and_observe probe_seed in
+            let hits_nested =
+              baseline_nested <> []
+              && List.exists
+                   (fun br -> List.mem br baseline_nested)
+                   (nested_hits_of_run run)
+            in
+            let distance_decreased =
+              List.exists
+                (fun (br, base_d) ->
+                  List.exists
+                    (fun (r : Executor.tx_result) ->
+                      match Coverage.trace_min_distance r.trace br with
+                      | Some d -> d < base_d
+                      | None -> false)
+                    run.tx_results)
+                baseline_dists
+            in
+            { Mask.hits_nested; distance_decreased }
+          end
+        in
+        let m =
+          Mask.compute rng ~stride:config.mask_stride
+            ~max_probes:config.mask_max_probes ~probe tx.stream
+        in
+        if Hashtbl.length entry.masks < config.mask_cache_max then
+          Hashtbl.replace entry.masks tx_index m;
+        Some m
+      end
+  in
+  let remaining = ref energy in
+  while !remaining > 0 && quota_left () do
+    let ntx = List.length entry.seed.txs in
+    let tx_index = Util.Rng.int rng ntx in
+    let tx = List.nth entry.seed.txs tx_index in
+    let stream = tx.Seed.stream in
+    let mask =
+      if config.mask_guided && (entry.nested_hits <> [] || entry.frontier_dists <> [])
+      then get_mask tx_index
+      else None
+    in
+    let pos = Util.Rng.int rng (Stdlib.max 1 (String.length stream)) in
+    let m = Mutation.random rng ~max_n:8 in
+    let allowed =
+      match mask with
+      | Some msk -> Mask.allows msk m.Mutation.kind ~pos
+      | None -> true
+    in
+    if not allowed then remaining := !remaining - 1
+    else begin
+      let mutated = Mutation.apply ~dict:ctx.x_dict rng m ~pos stream in
+      let candidate = Seed.with_tx entry.seed tx_index { tx with stream = mutated } in
+      let candidate =
+        if Util.Rng.float rng < config.sequence_mutation_prob then
+          mutate_sequence ctx rng candidate
+        else candidate
+      in
+      if quota_left () then begin
+        let run, fresh = exec_and_observe candidate in
+        if fresh then
+          cands :=
+            { c_seed = candidate; c_tx_results = run.tx_results;
+              c_kind = Cand_fresh }
+            :: !cands
+        else begin
+          (* pre-filter against the round-start snapshot: global best
+             distances only shrink, so nothing dropped here could have
+             entered the pool — the coordinator re-checks survivors *)
+          let dists = frontier_dists_of_run cov run in
+          let improves =
+            List.exists
+              (fun (br, d) ->
+                match Hashtbl.find_opt best_snapshot br with
+                | Some best -> d < best
+                | None -> true)
+              dists
+          in
+          if improves then
+            cands :=
+              { c_seed = candidate; c_tx_results = run.tx_results;
+                c_kind = Cand_improving }
+              :: !cands
+        end;
+        remaining := Energy.update !remaining ~new_coverage:fresh
+      end
+      else remaining := 0
+    end
+  done;
+  {
+    t_worker = worker;
+    t_execs = !execs;
+    t_probes = !probes;
+    t_cands = List.rev !cands;
+    t_findings = List.rev !findings;
+    t_weights = List.rev !weights;
+    t_cov = cov;
+  }
+
+let run_parallel_on pool config (contract : Minisol.Contract.t) =
+  let start_time = Unix.gettimeofday () in
+  let jobs = Pool.size pool in
+  let ctx = make_ctx config contract in
+  let rng = Util.Rng.create config.rng_seed in
+  let coverage = Coverage.create () in
+  let findings_tbl : (Oracles.Oracle.bug_class * int, unit) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let findings = ref [] in
+  let witnesses = ref [] in
+  let witness_seeds = ref [] in
+  let execs = ref 0 in
+  let checkpoints = ref [] in
+  let weight_table : (int * bool, float) Hashtbl.t option ref =
+    ref (if config.dynamic_energy then Some (Hashtbl.create 64) else None)
+  in
+  let mask_probes_used = ref 0 in
+  let budget_left () = !execs < config.max_executions in
+  (* every worker stream is a pure function of (campaign seed, dispatch
+     counter): runs are reproducible for a fixed (rng_seed, jobs) *)
+  let rng_counter = ref 0 in
+  let next_worker_rng () =
+    let k = !rng_counter in
+    incr rng_counter;
+    Util.Rng.derive config.rng_seed k
+  in
+  let caches =
+    Array.init jobs (fun _ ->
+        if config.state_caching then Some (State_cache.create ()) else None)
+  in
+  let stats0 = Pool.stats pool in
+  let execs_by_worker = Array.make jobs 0 in
+  let rounds = ref 0 in
+  let merge_seconds = ref 0.0 in
+  let queue : entry array ref = ref [||] in
+  let queue_add e =
+    let cap = 128 in
+    let q = Array.to_list !queue @ [ e ] in
+    let q = if List.length q > cap then List.tl q else q in
+    queue := Array.of_list q
+  in
+  let best_for_branch : (int * bool, float * entry) Hashtbl.t = Hashtbl.create 64 in
+  let note_entry e =
+    List.iter
+      (fun (br, d) ->
+        match Hashtbl.find_opt best_for_branch br with
+        | Some (best, _) when best <= d -> ()
+        | _ -> Hashtbl.replace best_for_branch br (d, e))
+      e.frontier_dists
+  in
+  let mk_entry seed tx_results =
+    {
+      seed;
+      path = path_of_results tx_results;
+      nested_hits = nested_hits_of_results tx_results;
+      frontier_dists = frontier_dists_of_results coverage tx_results;
+      masks = Hashtbl.create 4;
+    }
+  in
+  let checkpoint () =
+    checkpoints :=
+      { Report.execs = !execs; covered = Coverage.covered_count coverage }
+      :: !checkpoints
+  in
+  let note_findings seed fs =
+    List.iter
+      (fun (f : Oracles.Oracle.finding) ->
+        let key = (f.cls, f.pc) in
+        if not (Hashtbl.mem findings_tbl key) then begin
+          Hashtbl.replace findings_tbl key ();
+          findings := f :: !findings;
+          witnesses := (f, Seed.show seed) :: !witnesses;
+          witness_seeds := (f, seed) :: !witness_seeds;
+          Log.info (fun m ->
+              m "exec %d: new finding %a" !execs Oracles.Oracle.pp_finding f)
+        end)
+      fs
+  in
+  let merge_weights ws =
+    match !weight_table with
+    | Some tbl ->
+      List.iter
+        (fun (key, w) ->
+          match Hashtbl.find_opt tbl key with
+          | Some w' when w' >= w -> ()
+          | _ -> Hashtbl.replace tbl key w)
+        ws
+    | None -> ()
+  in
+  (* fold one executed-but-unmutated run in on the coordinator (initial
+     seeds, black-box seeds): global coverage, findings, Algorithm-3
+     weights — the coordinator-side twin of [run]'s exec_and_observe *)
+  let observe_on_coordinator seed (results : Executor.tx_result list) received_value
+      =
+    incr execs;
+    let fresh =
+      List.fold_left
+        (fun fresh (r : Executor.tx_result) -> Coverage.record coverage r.trace || fresh)
+        false results
+    in
+    let executions =
+      List.map (fun (r : Executor.tx_result) -> (r.tx_index, r.success, r.trace))
+        results
+    in
+    note_findings seed
+      (Oracles.Oracle.inspect_campaign ~static:ctx.x_static ~received_value
+         executions);
+    (match !weight_table with
+    | Some _ when fresh ->
+      merge_weights
+        (List.concat_map
+           (fun (r : Executor.tx_result) ->
+             List.map
+               (fun (wb : Analysis.Prefix.weighted_branch) ->
+                 ((wb.pc, wb.taken), wb.weight))
+               (Analysis.Prefix.analyze_trace ~params:config.prefix_params ctx.x_cfg
+                  r.trace))
+           results)
+    | _ -> ());
+    checkpoint ();
+    fresh
+  in
+  (* execute a coordinator-generated seed list across the pool, merging
+     in seed order so feedback folds in exactly as sequentially *)
+  let execute_seeds_parallel ~enqueue seeds =
+    let indexed = List.mapi (fun i s -> (i, s)) seeds in
+    let ntasks = Stdlib.min jobs (List.length indexed) in
+    if ntasks > 0 then begin
+      let tasks =
+        Array.init ntasks (fun j ->
+            let mine = List.filter (fun (i, _) -> i mod ntasks = j) indexed in
+            fun worker ->
+              List.map
+                (fun (i, seed) ->
+                  let run =
+                    Executor.run_seed ~contract:ctx.x_contract ~gas:config.gas_per_tx
+                      ~n_senders:config.n_senders ~attacker:config.attacker_enabled
+                      ?cache:caches.(worker) seed
+                  in
+                  (i, worker, seed, run))
+                mine)
+      in
+      let results =
+        Pool.run_batch pool tasks |> Array.to_list |> List.concat
+        |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+      in
+      List.iter
+        (fun (_, worker, seed, (run : Executor.run)) ->
+          execs_by_worker.(worker) <- execs_by_worker.(worker) + 1;
+          ignore (observe_on_coordinator seed run.tx_results run.received_value);
+          if enqueue then begin
+            let e = mk_entry seed run.tx_results in
+            queue_add e;
+            note_entry e
+          end)
+        results
+    end
+  in
+  (* ---------------- initial seeds ---------------- *)
+  let initial_seeds =
+    let fresh = ref [] in
+    for _ = 1 to config.initial_seeds do
+      fresh := new_seed ctx rng :: !fresh
+    done;
+    let all = config.initial_corpus @ List.rev !fresh in
+    List.filteri (fun i _ -> i < config.max_executions) all
+  in
+  execute_seeds_parallel ~enqueue:true initial_seeds;
+  (* ---------------- black-box mode ---------------- *)
+  if config.blackbox then
+    while budget_left () do
+      let rem = config.max_executions - !execs in
+      let n = Stdlib.min rem (jobs * 32) in
+      let batch = ref [] in
+      for _ = 1 to n do
+        batch := new_seed ctx rng :: !batch
+      done;
+      execute_seeds_parallel ~enqueue:false (List.rev !batch)
+    done;
+  (* ---------------- main loop ---------------- *)
+  let cursor = ref 0 in
+  let zero_rounds = ref 0 in
+  while budget_left () && Array.length !queue > 0 && !zero_rounds < 64 do
+    incr rounds;
+    let rem = config.max_executions - !execs in
+    let want = Stdlib.min jobs rem in
+    (* up to [want] distinct seeds, picked with the sequential policy *)
+    let chosen = ref [] in
+    let attempts = ref 0 in
+    while List.length !chosen < want && !attempts < 4 * want do
+      incr attempts;
+      let entry =
+        let frontier =
+          Hashtbl.fold
+            (fun br (d, e) acc ->
+              if Coverage.is_covered coverage br then acc else (br, d, e) :: acc)
+            best_for_branch []
+        in
+        if config.distance_feedback && frontier <> [] && Util.Rng.float rng < 0.7 then
+          let _, _, e = Util.Rng.choose_list rng frontier in
+          e
+        else begin
+          let q = !queue in
+          let e = q.(!cursor mod Array.length q) in
+          incr cursor;
+          e
+        end
+      in
+      if not (List.memq entry !chosen) then chosen := entry :: !chosen
+    done;
+    let chosen = List.rev !chosen in
+    let k = List.length chosen in
+    let base_quota = rem / k and extra = rem mod k in
+    let mask_cap =
+      int_of_float
+        (config.mask_budget_fraction *. float_of_int config.max_executions)
+    in
+    let mask_share = Stdlib.max 0 (mask_cap - !mask_probes_used) / k in
+    let best_snapshot : (int * bool, float) Hashtbl.t =
+      Hashtbl.create (Stdlib.max 16 (Hashtbl.length best_for_branch))
+    in
+    Hashtbl.iter (fun br (d, _) -> Hashtbl.replace best_snapshot br d)
+      best_for_branch;
+    let tasks =
+      List.mapi
+        (fun i entry ->
+          let energy =
+            Energy.assign ~dynamic:config.dynamic_energy ~base:config.base_energy
+              ~max_energy:config.max_energy ~weights:!weight_table ~path:entry.path
+          in
+          let quota = base_quota + (if i < extra then 1 else 0) in
+          let wrng = next_worker_rng () in
+          let cov = Coverage.copy coverage in
+          fun worker ->
+            fuzz_entry_task ctx ~caches ~entry ~energy ~quota
+              ~mask_allowance:mask_share ~best_snapshot ~cov wrng worker)
+        chosen
+      |> Array.of_list
+    in
+    let results = Pool.run_batch pool tasks in
+    let round_execs = Array.fold_left (fun a r -> a + r.t_execs) 0 results in
+    if round_execs = 0 then incr zero_rounds else zero_rounds := 0;
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun tr ->
+        execs := !execs + tr.t_execs;
+        execs_by_worker.(tr.t_worker) <-
+          execs_by_worker.(tr.t_worker) + tr.t_execs;
+        mask_probes_used := !mask_probes_used + tr.t_probes;
+        List.iter
+          (fun c ->
+            let fresh =
+              List.fold_left
+                (fun fresh (r : Executor.tx_result) ->
+                  Coverage.record coverage r.trace || fresh)
+                false c.c_tx_results
+            in
+            match c.c_kind with
+            | Cand_fresh when fresh ->
+              let e = mk_entry c.c_seed c.c_tx_results in
+              queue_add e;
+              note_entry e
+            | Cand_fresh | Cand_improving ->
+              (* lost the freshness race (another domain covered the same
+                 side this round) or improving-only: Algorithm 1 lines
+                 8-13 still let it join the selection pool if it got
+                 closer to an uncovered branch than anything known *)
+              let dists = frontier_dists_of_results coverage c.c_tx_results in
+              let improves =
+                List.exists
+                  (fun (br, d) ->
+                    match Hashtbl.find_opt best_for_branch br with
+                    | Some (best, _) -> d < best
+                    | None -> true)
+                  dists
+              in
+              if improves then
+                note_entry
+                  {
+                    seed = c.c_seed;
+                    path = path_of_results c.c_tx_results;
+                    nested_hits = nested_hits_of_results c.c_tx_results;
+                    frontier_dists = dists;
+                    masks = Hashtbl.create 4;
+                  })
+          tr.t_cands;
+        List.iter (fun (f, seed) -> note_findings seed [ f ]) tr.t_findings;
+        merge_weights tr.t_weights;
+        Coverage.merge ~into:coverage tr.t_cov;
+        checkpoint ())
+      results;
+    merge_seconds := !merge_seconds +. (Unix.gettimeofday () -. t0);
+    Log.debug (fun m ->
+        m "round %d: %d tasks, %d execs, coverage %d sides" !rounds k round_execs
+          (Coverage.covered_count coverage))
+  done;
+  let stats1 = Pool.stats pool in
+  let domains =
+    List.init jobs (fun i ->
+        {
+          Report.domain = i;
+          d_execs = execs_by_worker.(i);
+          busy_seconds = stats1.busy_seconds.(i) -. stats0.busy_seconds.(i);
+          stall_seconds = stats1.stall_seconds.(i) -. stats0.stall_seconds.(i);
+        })
+  in
+  {
+    Report.contract_name = contract.name;
+    executions = !execs;
+    covered_branches = Coverage.covered_count coverage;
+    covered = List.sort compare (Coverage.covered coverage);
+    total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points ctx.x_cfg);
+    findings = Oracles.Oracle.dedup (List.rev !findings);
+    witnesses = List.rev !witnesses;
+    witness_seeds = List.rev !witness_seeds;
+    over_time = List.rev !checkpoints;
+    seeds_in_queue = Array.length !queue;
+    corpus = Array.to_list !queue |> List.map (fun e -> e.seed);
+    wall_seconds = Unix.gettimeofday () -. start_time;
+    parallel =
+      Some
+        {
+          Report.jobs;
+          rounds = !rounds;
+          merge_seconds = !merge_seconds;
+          steals = stats1.steals - stats0.steals;
+          domains;
+        };
+  }
+
+let run_parallel ?(config = Config.default) ?pool (contract : Minisol.Contract.t) =
+  let jobs =
+    match pool with Some p -> Pool.size p | None -> Stdlib.max 1 config.jobs
+  in
+  if jobs <= 1 then run ~config contract
+  else
+    match pool with
+    | Some p -> run_parallel_on p config contract
+    | None -> Pool.with_pool ~jobs (fun p -> run_parallel_on p config contract)
+
+let run_many ?(config = Config.default) ?pool contracts =
+  match pool with
+  | Some p when Pool.size p > 1 -> Pool.map p (fun c -> run ~config c) contracts
+  | _ -> List.map (fun c -> run ~config c) contracts

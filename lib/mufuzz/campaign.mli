@@ -9,6 +9,29 @@
 val run : ?config:Config.t -> Minisol.Contract.t -> Report.t
 (** Fuzz one contract until the execution budget is exhausted. *)
 
+val run_parallel :
+  ?config:Config.t -> ?pool:Pool.t -> Minisol.Contract.t -> Report.t
+(** Multicore campaign: seed-energy batches are sharded across a
+    {!Pool} of worker domains, each with its own executor state cache, a
+    private RNG stream ({!Util.Rng.derive}) and a domain-local coverage
+    map merged commutatively into the global map at batch boundaries.
+    All seed-queue, mask-budget and energy updates are applied by the
+    coordinator between rounds, so Algorithms 1-3 are semantically
+    unchanged. With [jobs <= 1] (the [Config.default]) this IS {!run} —
+    same code path, bit-for-bit identical results. Parallel runs are
+    reproducible for a fixed [(rng_seed, jobs)] pair.
+
+    An explicit [pool] overrides [config.jobs] and lets callers amortise
+    domain spawning across many campaigns; otherwise a pool of
+    [config.jobs] workers is created and shut down internally. *)
+
+val run_many :
+  ?config:Config.t -> ?pool:Pool.t -> Minisol.Contract.t list -> Report.t list
+(** Batch mode: one sequential campaign per contract, sharded across the
+    pool (the bench-harness granularity). Report order follows the input
+    order. Without a pool (or with a 1-worker pool) this is [List.map]
+    of {!run}. *)
+
 val derive_sequence : Minisol.Contract.t -> string list
 (** The §IV-A sequence for a contract (constructor excluded), exposed
     for examples and tests. *)

@@ -2,6 +2,7 @@ type sequence_mode = Seq_random | Seq_dataflow | Seq_dataflow_repeat
 
 type t = {
   rng_seed : int64;
+  jobs : int;
   max_executions : int;
   gas_per_tx : int;
   n_senders : int;
@@ -28,6 +29,7 @@ type t = {
 let default =
   {
     rng_seed = 42L;
+    jobs = 1;
     max_executions = 2000;
     gas_per_tx = 1_000_000;
     n_senders = 3;

@@ -15,6 +15,9 @@ type sequence_mode =
 
 type t = {
   rng_seed : int64;  (** all campaign randomness derives from this *)
+  jobs : int;
+      (** worker domains for {!Campaign.run_parallel}; [1] (the default)
+          runs the sequential loop bit-for-bit — parallelism is opt-in *)
   max_executions : int;  (** transaction-sequence executions budget *)
   gas_per_tx : int;
   n_senders : int;  (** size of the sender account pool *)

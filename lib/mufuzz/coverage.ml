@@ -33,6 +33,32 @@ let record t (trace : Evm.Trace.t) =
     trace.events;
   !fresh
 
+let copy t = { hits = Hashtbl.copy t.hits; dists = Hashtbl.copy t.dists }
+
+(* Merge [src] into [dst]. Hit counts take the max (counts are never read
+   as semantics, and max — unlike sum — makes the merge idempotent);
+   distances take the min and are dropped for sides that became covered,
+   preserving the invariant that [dists] only tracks uncovered sides.
+   Commutative and idempotent over the observable state (covered set +
+   best distances), so domain-local maps can be folded into the global
+   map in any batch order. *)
+let merge ~into:dst src =
+  Hashtbl.iter
+    (fun br n ->
+      match Hashtbl.find_opt dst.hits br with
+      | Some m -> if n > m then Hashtbl.replace dst.hits br n
+      | None ->
+        Hashtbl.replace dst.hits br n;
+        Hashtbl.remove dst.dists br)
+    src.hits;
+  Hashtbl.iter
+    (fun br d ->
+      if not (Hashtbl.mem dst.hits br) then
+        match Hashtbl.find_opt dst.dists br with
+        | Some d' when d' <= d -> ()
+        | _ -> Hashtbl.replace dst.dists br d)
+    src.dists
+
 let covered_count t = Hashtbl.length t.hits
 
 let covered t = Hashtbl.fold (fun br _ acc -> br :: acc) t.hits []

@@ -15,6 +15,18 @@ val create : unit -> t
 val record : t -> Evm.Trace.t -> bool
 (** Folds one trace in; returns [true] iff a new branch side was covered. *)
 
+val copy : t -> t
+(** Independent snapshot; the copy and the original evolve separately.
+    Worker domains fuzz against a copy of the global map and the
+    coordinator folds them back with {!merge}. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into:dst src] folds [src]'s coverage into [dst]: the covered
+    sets union, best distances take the minimum, and distances toward
+    sides that became covered are dropped. Commutative and idempotent
+    over the observable state, so per-domain maps may be merged in any
+    order at batch boundaries. *)
+
 val is_covered : t -> branch -> bool
 
 val covered_count : t -> int

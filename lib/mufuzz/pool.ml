@@ -1,0 +1,182 @@
+(* Work-stealing pool of stdlib Domains.
+
+   Each worker owns a deque; [run_batch] deals tasks round-robin across
+   the deques and workers pop from their own front, stealing from the
+   back of a sibling when theirs runs dry. All queues share one mutex —
+   batches are coarse (a handful of seed-energy tasks per round), so a
+   single lock is never contended long enough to matter and keeps the
+   invariants trivial. Workers park on a condition variable between
+   rounds; the time spent parked while a batch is still in flight is the
+   "merge stall" surfaced in reports. *)
+
+type stats = {
+  tasks_run : int array;
+  busy_seconds : float array;
+  stall_seconds : float array;
+  steals : int;
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  deques : (int -> unit) Queue.t array;  (* per-worker; task gets worker id *)
+  mutable pending : int;  (* submitted tasks not yet completed *)
+  mutable in_batch : bool;  (* a run_batch is in flight: parking = stall *)
+  mutable stop : bool;
+  tasks_run : int array;
+  busy_seconds : float array;
+  stall_seconds : float array;
+  mutable steals : int;
+  mutable domains : unit Domain.t array;
+}
+
+let size t = t.size
+
+(* Pop from own front, else steal from the back of the first non-empty
+   sibling (scanning forward from the thief's index so victims rotate).
+   Caller holds the mutex. *)
+let take_task t me =
+  if not (Queue.is_empty t.deques.(me)) then Some (Queue.pop t.deques.(me))
+  else begin
+    let found = ref None in
+    for k = 1 to t.size - 1 do
+      let victim = (me + k) mod t.size in
+      if !found = None && not (Queue.is_empty t.deques.(victim)) then begin
+        (* steal the most recently dealt task: drain to reach the back *)
+        let q = t.deques.(victim) in
+        let n = Queue.length q in
+        let stolen = ref (Queue.pop q) in
+        for _ = 2 to n do
+          Queue.push !stolen q;
+          stolen := Queue.pop q
+        done;
+        t.steals <- t.steals + 1;
+        found := Some !stolen
+      end
+    done;
+    !found
+  end
+
+let worker t me =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    let rec next () =
+      match take_task t me with
+      | Some task -> Some task
+      | None ->
+        if t.stop then None
+        else begin
+          let t0 = Unix.gettimeofday () in
+          Condition.wait t.work_available t.mutex;
+          if t.in_batch then
+            t.stall_seconds.(me) <-
+              t.stall_seconds.(me) +. (Unix.gettimeofday () -. t0);
+          next ()
+        end
+    in
+    (match next () with
+    | None ->
+      running := false;
+      Mutex.unlock t.mutex
+    | Some task ->
+      Mutex.unlock t.mutex;
+      let t0 = Unix.gettimeofday () in
+      (try task me with _ -> ());
+      t.busy_seconds.(me) <- t.busy_seconds.(me) +. (Unix.gettimeofday () -. t0);
+      t.tasks_run.(me) <- t.tasks_run.(me) + 1;
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.batch_done;
+      Mutex.unlock t.mutex)
+  done
+
+let create ~jobs =
+  let jobs = Stdlib.max 1 jobs in
+  let t =
+    {
+      size = jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      deques = Array.init jobs (fun _ -> Queue.create ());
+      pending = 0;
+      in_batch = false;
+      stop = false;
+      tasks_run = Array.make jobs 0;
+      busy_seconds = Array.make jobs 0.0;
+      stall_seconds = Array.make jobs 0.0;
+      steals = 0;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init jobs (fun i -> Domain.spawn (fun () -> worker t i));
+  t
+
+exception Task_error of exn
+
+let run_batch t tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let failure = ref None in
+    Mutex.lock t.mutex;
+    if t.pending <> 0 || t.in_batch then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run_batch: pool already running a batch"
+    end;
+    Array.iteri
+      (fun i task ->
+        let wrapped worker_id =
+          match task worker_id with
+          | v -> results.(i) <- Some v
+          | exception e -> if !failure = None then failure := Some e
+        in
+        Queue.push wrapped t.deques.(i mod t.size))
+      tasks;
+    t.pending <- n;
+    t.in_batch <- true;
+    Condition.broadcast t.work_available;
+    while t.pending > 0 do
+      Condition.wait t.batch_done t.mutex
+    done;
+    t.in_batch <- false;
+    Mutex.unlock t.mutex;
+    match !failure with
+    | Some e -> raise (Task_error e)
+    | None ->
+      Array.map
+        (function Some v -> v | None -> invalid_arg "Pool.run_batch: lost result")
+        results
+  end
+
+let map t f items =
+  let tasks = Array.of_list (List.map (fun x -> fun _worker -> f x) items) in
+  Array.to_list (run_batch t tasks)
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      tasks_run = Array.copy t.tasks_run;
+      busy_seconds = Array.copy t.busy_seconds;
+      stall_seconds = Array.copy t.stall_seconds;
+      steals = t.steals;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.domains
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

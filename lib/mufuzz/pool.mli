@@ -1,0 +1,55 @@
+(** Work-stealing pool of stdlib [Domain]s (OCaml ≥ 5.1, no external
+    dependencies).
+
+    The campaign coordinator deals batches of seed-energy tasks across
+    worker domains; each worker pops from its own deque and steals from a
+    sibling when it runs dry, so an uneven batch (one seed with a long
+    mask probe, say) does not leave cores idle. The pool is persistent —
+    domains are spawned once and parked between batches — because a
+    fuzzing round is far too short to amortise [Domain.spawn].
+
+    One batch may be in flight at a time ({!run_batch} raises
+    [Invalid_argument] on overlap); the pool itself is driven from a
+    single coordinator domain. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [max 1 jobs] worker domains, parked until work arrives. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val run_batch : t -> (int -> 'a) array -> 'a array
+(** [run_batch t tasks] deals [tasks] round-robin across the workers and
+    blocks until all complete, returning results in submission order.
+    Each task receives the id (in [0 .. size-1]) of the worker that ran
+    it, for indexing per-domain scratch state such as executor caches. *)
+
+exception Task_error of exn
+(** Raised by {!run_batch} (after the whole batch has drained) when a
+    task raised; carries the first failure. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f items] runs [f] on every item across the pool, preserving
+    order — the cross-contract sharding used by the bench harness. *)
+
+type stats = {
+  tasks_run : int array;  (** per-worker completed task count *)
+  busy_seconds : float array;  (** per-worker time spent inside tasks *)
+  stall_seconds : float array;
+      (** per-worker time parked while a batch was still in flight —
+          waiting for siblings to finish so the coordinator can merge *)
+  steals : int;  (** tasks taken from a sibling's deque *)
+}
+
+val stats : t -> stats
+(** Cumulative since {!create}. *)
+
+val shutdown : t -> unit
+(** Drain, stop and join every worker domain. The pool must not be used
+    afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
+    down, including on exceptions. *)

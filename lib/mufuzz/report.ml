@@ -1,5 +1,20 @@
 type checkpoint = { execs : int; covered : int }
 
+type domain_stat = {
+  domain : int;
+  d_execs : int;
+  busy_seconds : float;
+  stall_seconds : float;
+}
+
+type parallel_stats = {
+  jobs : int;
+  rounds : int;
+  merge_seconds : float;
+  steals : int;
+  domains : domain_stat list;
+}
+
 type t = {
   contract_name : string;
   executions : int;
@@ -13,7 +28,11 @@ type t = {
   seeds_in_queue : int;
   corpus : Seed.t list;
   wall_seconds : float;
+  parallel : parallel_stats option;
 }
+
+let execs_per_sec (d : domain_stat) =
+  if d.busy_seconds > 0.0 then float_of_int d.d_execs /. d.busy_seconds else 0.0
 
 let coverage_pct t =
   if t.total_branch_sides = 0 then 0.0
@@ -68,6 +87,16 @@ let to_text t =
           f.pc f.tx_index f.detail w)
       t.witnesses
   end;
+  (match t.parallel with
+  | None -> ()
+  | Some p ->
+    pf "\nparallel execution (%d domains, %d rounds, %.2fs merging, %d steals)\n"
+      p.jobs p.rounds p.merge_seconds p.steals;
+    List.iter
+      (fun d ->
+        pf "  domain %d: %6d execs, %8.1f execs/sec, %.2fs merge stall\n"
+          d.domain d.d_execs (execs_per_sec d) d.stall_seconds)
+      p.domains);
   pf "\ncoverage growth (execs -> covered sides)\n";
   let step = Stdlib.max 1 (List.length t.over_time / 20) in
   List.iteri

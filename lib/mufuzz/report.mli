@@ -2,6 +2,22 @@
 
 type checkpoint = { execs : int; covered : int }
 
+type domain_stat = {
+  domain : int;  (** worker domain id *)
+  d_execs : int;  (** sequence executions this domain performed *)
+  busy_seconds : float;  (** time inside fuzzing tasks *)
+  stall_seconds : float;
+      (** time parked at batch barriers waiting for the coordinator merge *)
+}
+
+type parallel_stats = {
+  jobs : int;
+  rounds : int;  (** coordinator merge rounds *)
+  merge_seconds : float;  (** coordinator time spent merging feedback *)
+  steals : int;  (** work-stealing events in the pool *)
+  domains : domain_stat list;
+}
+
 type t = {
   contract_name : string;
   executions : int;
@@ -17,7 +33,12 @@ type t = {
   seeds_in_queue : int;
   corpus : Seed.t list;  (** the final seed queue, for saving/resuming *)
   wall_seconds : float;
+  parallel : parallel_stats option;
+      (** per-domain throughput, [None] for sequential campaigns *)
 }
+
+val execs_per_sec : domain_stat -> float
+(** Executions per second of busy time for one domain. *)
 
 val coverage_pct : t -> float
 (** [100 * covered / total]; 0 when the contract has no branches. *)

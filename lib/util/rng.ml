@@ -17,6 +17,16 @@ let next_int64 t =
 
 let split t = create (next_int64 t)
 
+(* Stateless stream derivation: the [index]-th child of [seed] is the
+   mix of a state offset by [index + 1] gammas, so worker streams are a
+   pure function of (seed, index) — no shared base generator to advance,
+   hence no dependence on the order in which domains are seeded. *)
+let derive seed index =
+  let base =
+    Int64.add seed (Int64.mul (Int64.of_int (index + 1)) golden_gamma)
+  in
+  create (next_int64 (create base))
+
 let int t bound =
   assert (bound > 0);
   let mask = Int64.of_int max_int in

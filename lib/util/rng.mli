@@ -18,6 +18,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a statistically independent child
     generator, for handing to subcomponents without sharing state. *)
 
+val derive : int64 -> int -> t
+(** [derive seed index] is the [index]-th child stream of [seed], as a
+    pure function of both — unlike {!split} it involves no mutable base
+    generator, so the stream handed to worker domain [index] does not
+    depend on how many other streams were derived before it or in what
+    order. Distinct indices yield independent streams. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -3,4 +3,4 @@ let () =
     (Test_util.suite @ Test_u256.suite @ Test_crypto.suite @ Test_evm.suite
     @ Test_abi.suite @ Test_minisol.suite @ Test_analysis.suite
     @ Test_oracles.suite @ Test_mufuzz.suite @ Test_baselines.suite
-    @ Test_corpus.suite @ Test_differential.suite)
+    @ Test_corpus.suite @ Test_parallel.suite @ Test_differential.suite)
