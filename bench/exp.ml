@@ -26,7 +26,7 @@ let pool () =
     match !shared_pool with
     | Some p -> Some p
     | None ->
-      let p = Mufuzz.Pool.create ~jobs:!jobs in
+      let p = Mufuzz.Pool.create ~jobs:!jobs () in
       shared_pool := Some p;
       at_exit (fun () -> Mufuzz.Pool.shutdown p);
       Some p

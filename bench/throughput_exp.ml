@@ -1,0 +1,75 @@
+(* Campaign throughput, measured through the machine-readable report.
+
+   Each target contract is fuzzed once; the report is serialised with
+   [Report.to_json_string] and parsed back with [Telemetry.Json.of_string]
+   — the exact pipeline a consumer of [mufuzz fuzz --json] sees — and the
+   execs/sec, coverage %% and wall-time figures are read out of the
+   parsed tree, never out of the in-memory report. That makes this bench
+   double as an end-to-end check that the JSON surface carries everything
+   a dashboard needs. Results go to bench_results/BENCH_throughput.json. *)
+
+module J = Telemetry.Json
+
+let targets () =
+  [
+    ("crowdsale", Minisol.Contract.compile Corpus.Examples.crowdsale);
+    ("shared_wallet", Minisol.Contract.compile Corpus.Examples.wallet);
+    ( "generated_large",
+      Corpus.Generator.compile
+        (List.hd
+           (Corpus.Generator.population ~seed:909L ~n:1 Corpus.Generator.Large
+              ~bug_rate:0.1)) );
+  ]
+
+let field name json =
+  match J.member name json with
+  | Some v -> v
+  | None -> failwith ("JSON report is missing field " ^ name)
+
+let num name json =
+  match J.to_float (field name json) with
+  | Some f -> f
+  | None -> failwith ("JSON report field is not a number: " ^ name)
+
+let run () =
+  Exp.section "Campaign throughput (figures read back from the JSON report)";
+  let budget = Exp.scaled 1500 in
+  let measure (name, contract) =
+    let config =
+      { Mufuzz.Config.default with max_executions = budget; rng_seed = 77L }
+    in
+    let report = Mufuzz.Campaign.run ~config contract in
+    let json =
+      match J.of_string (Mufuzz.Report.to_json_string report) with
+      | Ok j -> j
+      | Error e -> failwith ("report did not round-trip through JSON: " ^ e)
+    in
+    let execs_per_sec = num "execs_per_sec" json in
+    let coverage_pct = num "coverage_pct" json in
+    let wall_seconds = num "wall_seconds" json in
+    let executions = num "executions" json in
+    Printf.printf "  %-16s %6.0f execs  %6.2fs  %8.1f execs/sec  %5.1f%% coverage\n%!"
+      name executions wall_seconds execs_per_sec coverage_pct;
+    J.Obj
+      [
+        ("contract", J.String name);
+        ("executions", J.Int (int_of_float executions));
+        ("wall_seconds", J.Float wall_seconds);
+        ("execs_per_sec", J.Float execs_per_sec);
+        ("coverage_pct", J.Float coverage_pct);
+      ]
+  in
+  let rows = List.map measure (targets ()) in
+  let doc =
+    J.Obj
+      [
+        ( "benchmark",
+          J.String
+            (Printf.sprintf
+               "MuFuzz sequential campaign throughput, budget %d per contract"
+               budget) );
+        ("source", J.String "parsed back from Report.to_json_string");
+        ("results", J.List rows);
+      ]
+  in
+  Exp.write_file "BENCH_throughput.json" (J.to_string doc ^ "\n")

@@ -77,11 +77,32 @@ let ablation_arg =
   Arg.(value & opt_all string [] & info [ "disable" ] ~docv:"COMPONENT"
          ~doc:"Disable a MuFuzz component: sequence, mask, energy. Repeatable.")
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the campaign report as a JSON object on stdout and \
+               suppress the human-readable output. With $(b,--out), the \
+               file also receives JSON instead of text.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Stream campaign events to FILE as JSON Lines (one event \
+               object per line, tagged by its \"event\" field).")
+
+let status_interval_arg =
+  Arg.(value & opt float 0.0 & info [ "status-interval" ] ~docv:"SECS"
+         ~doc:"Print a live status line (execs, coverage, findings, \
+               execs/sec) to stderr every SECS seconds. 0 disables.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the final metrics registry to FILE in Prometheus \
+               text exposition format.")
+
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
   let run file budget seed jobs tool disabled out do_minimize corpus_in
-      corpus_out verbose =
+      corpus_out json trace status_interval metrics_out verbose =
     setup_logs verbose;
     let contract = load file in
     let profile =
@@ -93,7 +114,8 @@ let fuzz_cmd =
     in
     let config =
       { Mufuzz.Config.default with max_executions = budget; rng_seed = seed;
-        jobs = Stdlib.max 1 jobs }
+        jobs = Stdlib.max 1 jobs; trace_path = trace;
+        status_interval = Stdlib.max 0.0 status_interval }
     in
     let config =
       List.fold_left
@@ -109,70 +131,102 @@ let fuzz_cmd =
     in
     let config =
       match corpus_in with
-      | Some path -> begin
-        match Mufuzz.Replay.load_corpus ~abi:contract.Minisol.Contract.abi path with
-        | seeds ->
-          Printf.printf "loaded %d corpus seeds from %s\n" (List.length seeds) path;
-          { config with initial_corpus = seeds }
-        | exception Mufuzz.Replay.Corrupt msg ->
-          Printf.eprintf "corrupt corpus %s: %s\n" path msg;
-          exit 1
-      end
+      | Some path ->
+        let seeds, skipped =
+          Mufuzz.Replay.load_corpus ~abi:contract.Minisol.Contract.abi path
+        in
+        List.iter
+          (fun (i, reason) ->
+            Printf.eprintf "warning: %s: skipped corrupt seed block %d: %s\n"
+              path i reason)
+          skipped;
+        if not json then
+          Printf.printf "loaded %d corpus seeds from %s\n" (List.length seeds)
+            path;
+        { config with initial_corpus = seeds }
       | None -> config
     in
-    Printf.printf "fuzzing %s with %s (budget %d, seed %Ld, jobs %d)\n"
-      contract.Minisol.Contract.name profile.name budget seed config.jobs;
-    Printf.printf "sequence: [%s]\n\n"
-      (String.concat " -> " (Mufuzz.Campaign.derive_sequence contract));
-    let report = Baselines.Fuzzers.run profile ~config contract in
-    Format.printf "%a@." Mufuzz.Report.pp_summary report;
-    (match report.parallel with
-    | Some p ->
-      Printf.printf "parallel: %d domains, %d rounds, %.2fs merging, %d steals\n"
-        p.jobs p.rounds p.merge_seconds p.steals;
-      List.iter
-        (fun (d : Mufuzz.Report.domain_stat) ->
-          Printf.printf "  domain %d: %d execs, %.1f execs/sec, %.2fs stall\n"
-            d.domain d.d_execs (Mufuzz.Report.execs_per_sec d) d.stall_seconds)
-        p.domains
-    | None -> ());
-    List.iter
-      (fun ((f : Oracles.Oracle.finding), witness) ->
-        Format.printf "@.%a@.  %s@.  witness: %s@." Oracles.Oracle.pp_finding f
-          (Oracles.Oracle.class_description f.cls)
-          witness)
-      report.witnesses;
-    if do_minimize && report.witness_seeds <> [] then begin
-      print_endline "\nminimized witnesses:";
-      List.iter
-        (fun ((f : Oracles.Oracle.finding), seed) ->
-          let shrunk, spent =
-            Mufuzz.Minimize.minimize ~contract ~gas:config.gas_per_tx
-              ~n_senders:config.n_senders ~attacker:config.attacker_enabled f seed
-          in
-          Format.printf "  [%s] (%d extra execs) %s@."
-            (Oracles.Oracle.class_to_string f.cls)
-            spent (Mufuzz.Seed.show shrunk))
-        report.witness_seeds
+    if not json then begin
+      Printf.printf "fuzzing %s with %s (budget %d, seed %Ld, jobs %d)\n"
+        contract.Minisol.Contract.name profile.name budget seed config.jobs;
+      Printf.printf "sequence: [%s]\n\n"
+        (String.concat " -> " (Mufuzz.Campaign.derive_sequence contract))
     end;
-    (match corpus_out with
-    | Some path ->
-      Mufuzz.Replay.save_corpus path report.corpus;
-      Printf.printf "\nsaved %d corpus seeds to %s\n" (List.length report.corpus)
-        path
-    | None -> ());
-    match out with
+    let metrics = Telemetry.Metrics.create () in
+    let report = Baselines.Fuzzers.run profile ~config ~metrics contract in
+    (match metrics_out with
     | Some path ->
       let oc = open_out path in
-      output_string oc (Mufuzz.Report.to_text report);
-      close_out oc;
-      Printf.printf "\nfull report written to %s\n" path
-    | None -> ()
+      output_string oc (Telemetry.Metrics.dump metrics);
+      close_out oc
+    | None -> ());
+    if json then begin
+      print_endline (Mufuzz.Report.to_json_string report);
+      match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Mufuzz.Report.to_json_string report);
+        output_char oc '\n';
+        close_out oc
+      | None -> ()
+    end
+    else begin
+      Format.printf "%a@." Mufuzz.Report.pp_summary report;
+      (match report.parallel with
+      | Some p ->
+        Printf.printf "parallel: %d domains, %d rounds, %.2fs merging, %d steals\n"
+          p.jobs p.rounds p.merge_seconds p.steals;
+        List.iter
+          (fun (d : Mufuzz.Report.domain_stat) ->
+            Printf.printf "  domain %d: %d execs, %.1f execs/sec, %.2fs stall\n"
+              d.domain d.d_execs (Mufuzz.Report.execs_per_sec d) d.stall_seconds)
+          p.domains
+      | None -> ());
+      List.iter
+        (fun ((f : Oracles.Oracle.finding), witness) ->
+          Format.printf "@.%a@.  %s@.  witness: %s@." Oracles.Oracle.pp_finding f
+            (Oracles.Oracle.class_description f.cls)
+            witness)
+        report.witnesses;
+      if do_minimize && report.witness_seeds <> [] then begin
+        print_endline "\nminimized witnesses:";
+        List.iter
+          (fun ((f : Oracles.Oracle.finding), seed) ->
+            let shrunk, spent =
+              Mufuzz.Minimize.minimize ~contract ~gas:config.gas_per_tx
+                ~n_senders:config.n_senders ~attacker:config.attacker_enabled f
+                seed
+            in
+            Format.printf "  [%s] (%d extra execs) %s@."
+              (Oracles.Oracle.class_to_string f.cls)
+              spent (Mufuzz.Seed.show shrunk))
+          report.witness_seeds
+      end;
+      (match corpus_out with
+      | Some path ->
+        Mufuzz.Replay.save_corpus path report.corpus;
+        Printf.printf "\nsaved %d corpus seeds to %s\n" (List.length report.corpus)
+          path
+      | None -> ());
+      match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Mufuzz.Report.to_text report);
+        close_out oc;
+        Printf.printf "\nfull report written to %s\n" path
+      | None -> ()
+    end;
+    (* --save-corpus still works in JSON mode, silently *)
+    if json then
+      match corpus_out with
+      | Some path -> Mufuzz.Replay.save_corpus path report.corpus
+      | None -> ()
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a contract and report coverage and findings.")
     Term.(const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ tool_arg
           $ ablation_arg $ out_arg $ minimize_arg $ corpus_in_arg $ corpus_out_arg
+          $ json_arg $ trace_arg $ status_interval_arg $ metrics_arg
           $ verbose_arg)
 
 (* ---------------- analyze ---------------- *)

@@ -49,9 +49,12 @@ val run :
   profile ->
   ?config:Mufuzz.Config.t ->
   ?pool:Mufuzz.Pool.t ->
+  ?sinks:Telemetry.Sink.t list ->
+  ?metrics:Telemetry.Metrics.t ->
   Minisol.Contract.t ->
   Mufuzz.Report.t
 (** Run the tool's campaign; the report's findings are filtered to the
     tool's supported classes. Runs through {!Mufuzz.Campaign.run_parallel},
     so [config.jobs] (or an explicit [pool]) shards the campaign across
-    worker domains; the default [jobs = 1] is the sequential loop. *)
+    worker domains; the default [jobs = 1] is the sequential loop.
+    [sinks]/[metrics] are passed through to the campaign's telemetry. *)

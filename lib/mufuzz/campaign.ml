@@ -85,6 +85,77 @@ let make_ctx config (contract : Minisol.Contract.t) =
     x_abi = contract.abi;
   }
 
+(* ---------------- telemetry plumbing ---------------- *)
+
+(* A campaign's event bus is assembled from the config's declarative
+   sinks (JSONL trace, live status line) plus whatever the caller
+   passes programmatically (ring buffers in tests). With neither, this
+   is [Bus.null] and every emission below is a single array-length
+   test — the no-op overhead guarantee. *)
+let make_bus (config : Config.t) ~total_sides sinks =
+  let config_sinks =
+    (match config.trace_path with
+    | Some path -> [ Telemetry.Sink.jsonl path ]
+    | None -> [])
+    @
+    if config.status_interval > 0.0 then
+      [ Telemetry.Sink.status ~interval:config.status_interval ~total_sides () ]
+    else []
+  in
+  match config_sinks @ sinks with
+  | [] -> Telemetry.Bus.null
+  | l -> Telemetry.Bus.create l
+
+let total_sides_of_cfg cfg = 2 * List.length (Analysis.Cfg.branch_points cfg)
+
+(* Branch sides a run is about to cover for the first time — computed
+   BEFORE folding the run into [coverage], and only when someone is
+   listening. *)
+let pending_new_sides bus coverage results =
+  if not (Telemetry.Bus.enabled bus) then []
+  else
+    List.filter
+      (fun br -> not (Coverage.is_covered coverage br))
+      (path_of_results results)
+
+let emit_new_sides bus coverage sides =
+  List.iter
+    (fun (pc, taken) ->
+      Telemetry.Bus.emit bus
+        (Telemetry.Event.New_branch_side
+           { pc; taken; covered = Coverage.covered_count coverage }))
+    sides
+
+let emit_finding bus (f : Oracles.Oracle.finding) =
+  Telemetry.Bus.emit bus
+    (Telemetry.Event.Finding_raised
+       {
+         cls = Oracles.Oracle.class_to_string f.cls;
+         pc = f.pc;
+         tx_index = f.tx_index;
+       })
+
+(* the registry handles every campaign records through *)
+type meters = {
+  m_execs : Telemetry.Metrics.counter;
+  m_findings : Telemetry.Metrics.counter;
+  m_enqueued : Telemetry.Metrics.counter;
+  m_probes : Telemetry.Metrics.counter;
+  m_covered : Telemetry.Metrics.gauge;
+}
+
+let make_meters metrics =
+  let c name help = Telemetry.Metrics.counter metrics name ~help in
+  {
+    m_execs = c "mufuzz_executions_total" "transaction-sequence executions";
+    m_findings = c "mufuzz_findings_total" "distinct (bug class, pc) findings";
+    m_enqueued = c "mufuzz_seeds_enqueued_total" "seeds added to the selection queue";
+    m_probes = c "mufuzz_mask_probes_total" "Algorithm-2 mask probe executions";
+    m_covered =
+      Telemetry.Metrics.gauge metrics "mufuzz_covered_sides"
+        ~help:"branch sides covered so far";
+  }
+
 (* ---------------- initial seeds ---------------- *)
 
 let base_sequence ctx rng =
@@ -169,13 +240,19 @@ let mutate_sequence ctx rng (seed : Seed.t) =
                                     ~n_senders:config.n_senders fn ]) })
   end
 
-let run ?(config = Config.default) (contract : Minisol.Contract.t) =
+let run ?(config = Config.default) ?(sinks = []) ?metrics
+    (contract : Minisol.Contract.t) =
   let start_time = Unix.gettimeofday () in
   let rng = Util.Rng.create config.rng_seed in
   let ctx = make_ctx config contract in
   let cfg = ctx.x_cfg in
   let dict = ctx.x_dict in
   let static = ctx.x_static in
+  let metrics =
+    match metrics with Some m -> m | None -> Telemetry.Metrics.create ()
+  in
+  let bus = make_bus config ~total_sides:(total_sides_of_cfg cfg) sinks in
+  let meters = make_meters metrics in
   let coverage = Coverage.create () in
   let findings_tbl : (Oracles.Oracle.bug_class * int, unit) Hashtbl.t =
     Hashtbl.create 16
@@ -195,17 +272,25 @@ let run ?(config = Config.default) (contract : Minisol.Contract.t) =
   let exec_and_observe seed =
     let run =
       Executor.run_seed ~contract ~gas:config.gas_per_tx ~n_senders:config.n_senders
-        ~attacker:config.attacker_enabled ?cache seed
+        ~attacker:config.attacker_enabled ?cache ~metrics seed
     in
     incr execs;
+    Telemetry.Metrics.incr meters.m_execs;
+    let new_sides = pending_new_sides bus coverage run.tx_results in
     let fresh =
       List.fold_left
         (fun fresh (r : Executor.tx_result) -> Coverage.record coverage r.trace || fresh)
         false run.tx_results
     in
-    if fresh then
+    Telemetry.Bus.emit bus
+      (Telemetry.Event.Exec_completed { worker = 0; fresh });
+    emit_new_sides bus coverage new_sides;
+    if fresh then begin
+      Telemetry.Metrics.set meters.m_covered
+        (float_of_int (Coverage.covered_count coverage));
       Log.debug (fun m ->
-          m "exec %d: coverage %d sides" !execs (Coverage.covered_count coverage));
+          m "exec %d: coverage %d sides" !execs (Coverage.covered_count coverage))
+    end;
     let executions =
       List.map (fun (r : Executor.tx_result) -> (r.tx_index, r.success, r.trace))
         run.tx_results
@@ -218,6 +303,8 @@ let run ?(config = Config.default) (contract : Minisol.Contract.t) =
           findings := f :: !findings;
           witnesses := (f, Seed.show seed) :: !witnesses;
           witness_seeds := (f, seed) :: !witness_seeds;
+          Telemetry.Metrics.incr meters.m_findings;
+          emit_finding bus f;
           Log.info (fun m ->
               m "exec %d: new finding %a" !execs Oracles.Oracle.pp_finding f)
         end)
@@ -258,7 +345,11 @@ let run ?(config = Config.default) (contract : Minisol.Contract.t) =
     let cap = 128 in
     let q = Array.to_list !queue @ [ e ] in
     let q = if List.length q > cap then List.tl q else q in
-    queue := Array.of_list q
+    queue := Array.of_list q;
+    Telemetry.Metrics.incr meters.m_enqueued;
+    Telemetry.Bus.emit bus
+      (Telemetry.Event.Seed_enqueued
+         { txs = List.length e.seed.txs; queue_len = Array.length !queue })
   in
   let best_for_branch : (int * bool, float * entry) Hashtbl.t = Hashtbl.create 64 in
   let note_entry e =
@@ -333,10 +424,15 @@ let run ?(config = Config.default) (contract : Minisol.Contract.t) =
             { Mask.hits_nested; distance_decreased }
           end
         in
+        let probes_before = !mask_probes_used in
         let m =
           Mask.compute rng ~stride:config.mask_stride
             ~max_probes:config.mask_max_probes ~probe tx.stream
         in
+        let spent = !mask_probes_used - probes_before in
+        Telemetry.Metrics.add meters.m_probes spent;
+        Telemetry.Bus.emit bus
+          (Telemetry.Event.Mask_updated { tx_index; probes = spent });
         if Hashtbl.length e.masks < config.mask_cache_max then
           Hashtbl.replace e.masks tx_index m;
         Some m
@@ -375,6 +471,7 @@ let run ?(config = Config.default) (contract : Minisol.Contract.t) =
         ~max_energy:config.max_energy
         ~weights:!weight_table ~path:entry.path
     in
+    Telemetry.Bus.emit bus (Telemetry.Event.Energy_reassigned { energy });
     let remaining = ref energy in
     while !remaining > 0 && budget_left () do
       let ntx = List.length entry.seed.txs in
@@ -435,21 +532,25 @@ let run ?(config = Config.default) (contract : Minisol.Contract.t) =
       end
     done
   done;
-  {
-    Report.contract_name = contract.name;
-    executions = !execs;
-    covered_branches = Coverage.covered_count coverage;
-    covered = List.sort compare (Coverage.covered coverage);
-    total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points cfg);
-    findings = Oracles.Oracle.dedup (List.rev !findings);
-    witnesses = List.rev !witnesses;
-    witness_seeds = List.rev !witness_seeds;
-    over_time = List.rev !checkpoints;
-    seeds_in_queue = Array.length !queue;
-    corpus = Array.to_list !queue |> List.map (fun e -> e.seed);
-    wall_seconds = Unix.gettimeofday () -. start_time;
-    parallel = None;
-  }
+  let report =
+    {
+      Report.contract_name = contract.name;
+      executions = !execs;
+      covered_branches = Coverage.covered_count coverage;
+      covered = List.sort compare (Coverage.covered coverage);
+      total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points cfg);
+      findings = Oracles.Oracle.dedup (List.rev !findings);
+      witnesses = List.rev !witnesses;
+      witness_seeds = List.rev !witness_seeds;
+      over_time = List.rev !checkpoints;
+      seeds_in_queue = Array.length !queue;
+      corpus = Array.to_list !queue |> List.map (fun e -> e.seed);
+      wall_seconds = Unix.gettimeofday () -. start_time;
+      parallel = None;
+    }
+  in
+  Telemetry.Bus.finalize bus;
+  report
 
 (* ==================== parallel campaign (domain pool) ====================
 
@@ -489,9 +590,13 @@ type task_result = {
    energy loop of [run] exactly, with the global budget replaced by the
    reserved [quota], the global mask-probe budget by [mask_allowance],
    and freshness judged against the private [cov] snapshot. *)
-let fuzz_entry_task ctx ~caches ~entry ~energy ~quota ~mask_allowance
-    ~best_snapshot ~cov rng worker =
+let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
+    ~mask_allowance ~best_snapshot ~cov rng worker =
   let config = ctx.x_config in
+  (* handles resolve once per task; updates inside the loop are
+     lock-free atomics, shared with every sibling domain *)
+  let m_execs = Telemetry.Metrics.counter metrics "mufuzz_executions_total" in
+  let m_probes = Telemetry.Metrics.counter metrics "mufuzz_mask_probes_total" in
   let execs = ref 0 and probes = ref 0 in
   let cands = ref [] and findings = ref [] and weights = ref [] in
   let quota_left () = !execs < quota in
@@ -499,14 +604,19 @@ let fuzz_entry_task ctx ~caches ~entry ~energy ~quota ~mask_allowance
   let exec_and_observe seed =
     let run =
       Executor.run_seed ~contract:ctx.x_contract ~gas:config.gas_per_tx
-        ~n_senders:config.n_senders ~attacker:config.attacker_enabled ?cache seed
+        ~n_senders:config.n_senders ~attacker:config.attacker_enabled ?cache
+        ~metrics seed
     in
     incr execs;
+    Telemetry.Metrics.incr m_execs;
     let fresh =
       List.fold_left
         (fun fresh (r : Executor.tx_result) -> Coverage.record cov r.trace || fresh)
         false run.tx_results
     in
+    (* freshness here is judged against the round-start snapshot; the
+       coordinator re-judges candidates globally at merge time *)
+    Telemetry.Bus.emit bus (Telemetry.Event.Exec_completed { worker; fresh });
     let executions =
       List.map (fun (r : Executor.tx_result) -> (r.tx_index, r.success, r.trace))
         run.tx_results
@@ -565,10 +675,15 @@ let fuzz_entry_task ctx ~caches ~entry ~energy ~quota ~mask_allowance
             { Mask.hits_nested; distance_decreased }
           end
         in
+        let probes_before = !probes in
         let m =
           Mask.compute rng ~stride:config.mask_stride
             ~max_probes:config.mask_max_probes ~probe tx.stream
         in
+        let spent = !probes - probes_before in
+        Telemetry.Metrics.add m_probes spent;
+        Telemetry.Bus.emit bus
+          (Telemetry.Event.Mask_updated { tx_index; probes = spent });
         if Hashtbl.length entry.masks < config.mask_cache_max then
           Hashtbl.replace entry.masks tx_index m;
         Some m
@@ -642,11 +757,16 @@ let fuzz_entry_task ctx ~caches ~entry ~energy ~quota ~mask_allowance
     t_cov = cov;
   }
 
-let run_parallel_on pool config (contract : Minisol.Contract.t) =
+let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
+    (contract : Minisol.Contract.t) =
   let start_time = Unix.gettimeofday () in
   let jobs = Pool.size pool in
   let ctx = make_ctx config contract in
   let rng = Util.Rng.create config.rng_seed in
+  let metrics =
+    match metrics with Some m -> m | None -> Telemetry.Metrics.create ()
+  in
+  let meters = make_meters metrics in
   let coverage = Coverage.create () in
   let findings_tbl : (Oracles.Oracle.bug_class * int, unit) Hashtbl.t =
     Hashtbl.create 16
@@ -682,7 +802,11 @@ let run_parallel_on pool config (contract : Minisol.Contract.t) =
     let cap = 128 in
     let q = Array.to_list !queue @ [ e ] in
     let q = if List.length q > cap then List.tl q else q in
-    queue := Array.of_list q
+    queue := Array.of_list q;
+    Telemetry.Metrics.incr meters.m_enqueued;
+    Telemetry.Bus.emit bus
+      (Telemetry.Event.Seed_enqueued
+         { txs = List.length e.seed.txs; queue_len = Array.length !queue })
   in
   let best_for_branch : (int * bool, float * entry) Hashtbl.t = Hashtbl.create 64 in
   let note_entry e =
@@ -716,6 +840,8 @@ let run_parallel_on pool config (contract : Minisol.Contract.t) =
           findings := f :: !findings;
           witnesses := (f, Seed.show seed) :: !witnesses;
           witness_seeds := (f, seed) :: !witness_seeds;
+          Telemetry.Metrics.incr meters.m_findings;
+          emit_finding bus f;
           Log.info (fun m ->
               m "exec %d: new finding %a" !execs Oracles.Oracle.pp_finding f)
         end)
@@ -735,14 +861,21 @@ let run_parallel_on pool config (contract : Minisol.Contract.t) =
   (* fold one executed-but-unmutated run in on the coordinator (initial
      seeds, black-box seeds): global coverage, findings, Algorithm-3
      weights — the coordinator-side twin of [run]'s exec_and_observe *)
-  let observe_on_coordinator seed (results : Executor.tx_result list) received_value
-      =
+  let observe_on_coordinator ~worker seed (results : Executor.tx_result list)
+      received_value =
     incr execs;
+    Telemetry.Metrics.incr meters.m_execs;
+    let new_sides = pending_new_sides bus coverage results in
     let fresh =
       List.fold_left
         (fun fresh (r : Executor.tx_result) -> Coverage.record coverage r.trace || fresh)
         false results
     in
+    Telemetry.Bus.emit bus (Telemetry.Event.Exec_completed { worker; fresh });
+    emit_new_sides bus coverage new_sides;
+    if fresh then
+      Telemetry.Metrics.set meters.m_covered
+        (float_of_int (Coverage.covered_count coverage));
     let executions =
       List.map (fun (r : Executor.tx_result) -> (r.tx_index, r.success, r.trace))
         results
@@ -780,7 +913,7 @@ let run_parallel_on pool config (contract : Minisol.Contract.t) =
                   let run =
                     Executor.run_seed ~contract:ctx.x_contract ~gas:config.gas_per_tx
                       ~n_senders:config.n_senders ~attacker:config.attacker_enabled
-                      ?cache:caches.(worker) seed
+                      ?cache:caches.(worker) ~metrics seed
                   in
                   (i, worker, seed, run))
                 mine)
@@ -792,7 +925,7 @@ let run_parallel_on pool config (contract : Minisol.Contract.t) =
       List.iter
         (fun (_, worker, seed, (run : Executor.run)) ->
           execs_by_worker.(worker) <- execs_by_worker.(worker) + 1;
-          ignore (observe_on_coordinator seed run.tx_results run.received_value);
+          ignore (observe_on_coordinator ~worker seed run.tx_results run.received_value);
           if enqueue then begin
             let e = mk_entry seed run.tx_results in
             queue_add e;
@@ -874,10 +1007,11 @@ let run_parallel_on pool config (contract : Minisol.Contract.t) =
               ~max_energy:config.max_energy ~weights:!weight_table ~path:entry.path
           in
           let quota = base_quota + (if i < extra then 1 else 0) in
+          Telemetry.Bus.emit bus (Telemetry.Event.Energy_reassigned { energy });
           let wrng = next_worker_rng () in
           let cov = Coverage.copy coverage in
           fun worker ->
-            fuzz_entry_task ctx ~caches ~entry ~energy ~quota
+            fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
               ~mask_allowance:mask_share ~best_snapshot ~cov wrng worker)
         chosen
       |> Array.of_list
@@ -885,6 +1019,11 @@ let run_parallel_on pool config (contract : Minisol.Contract.t) =
     let results = Pool.run_batch pool tasks in
     let round_execs = Array.fold_left (fun a r -> a + r.t_execs) 0 results in
     if round_execs = 0 then incr zero_rounds else zero_rounds := 0;
+    (* workers never emit New_branch_side (their snapshots race); the
+       coordinator diffs the merged covered set per round instead *)
+    let covered_before =
+      if Telemetry.Bus.enabled bus then Coverage.covered coverage else []
+    in
     let t0 = Unix.gettimeofday () in
     Array.iter
       (fun tr ->
@@ -935,6 +1074,29 @@ let run_parallel_on pool config (contract : Minisol.Contract.t) =
         checkpoint ())
       results;
     merge_seconds := !merge_seconds +. (Unix.gettimeofday () -. t0);
+    Telemetry.Metrics.set meters.m_covered
+      (float_of_int (Coverage.covered_count coverage));
+    if Telemetry.Bus.enabled bus then begin
+      let base = List.length covered_before in
+      let fresh_sides =
+        List.filter
+          (fun br -> not (List.mem br covered_before))
+          (Coverage.covered coverage)
+      in
+      List.iteri
+        (fun i (pc, taken) ->
+          Telemetry.Bus.emit bus
+            (Telemetry.Event.New_branch_side
+               { pc; taken; covered = base + i + 1 }))
+        (List.sort compare fresh_sides)
+    end;
+    Telemetry.Bus.emit bus
+      (Telemetry.Event.Batch_merge
+         {
+           round = !rounds;
+           execs = round_execs;
+           covered = Coverage.covered_count coverage;
+         });
     Log.debug (fun m ->
         m "round %d: %d tasks, %d execs, coverage %d sides" !rounds k round_execs
           (Coverage.covered_count coverage))
@@ -973,15 +1135,32 @@ let run_parallel_on pool config (contract : Minisol.Contract.t) =
         };
   }
 
-let run_parallel ?(config = Config.default) ?pool (contract : Minisol.Contract.t) =
+let run_parallel ?(config = Config.default) ?pool ?(sinks = []) ?metrics
+    (contract : Minisol.Contract.t) =
   let jobs =
     match pool with Some p -> Pool.size p | None -> Stdlib.max 1 config.jobs
   in
-  if jobs <= 1 then run ~config contract
-  else
-    match pool with
-    | Some p -> run_parallel_on p config contract
-    | None -> Pool.with_pool ~jobs (fun p -> run_parallel_on p config contract)
+  if jobs <= 1 then run ~config ~sinks ?metrics contract
+  else begin
+    let metrics =
+      match metrics with Some m -> m | None -> Telemetry.Metrics.create ()
+    in
+    let total_sides =
+      total_sides_of_cfg (Analysis.Cfg.build contract.Minisol.Contract.bytecode)
+    in
+    let bus = make_bus config ~total_sides sinks in
+    let report =
+      match pool with
+      | Some p -> run_parallel_on ~bus ~metrics p config contract
+      | None ->
+        (* a pool created here (rather than passed in) also reports its
+           steal events through the campaign's bus *)
+        Pool.with_pool ~bus ~metrics ~jobs (fun p ->
+            run_parallel_on ~bus ~metrics p config contract)
+    in
+    Telemetry.Bus.finalize bus;
+    report
+  end
 
 let run_many ?(config = Config.default) ?pool contracts =
   match pool with

@@ -6,11 +6,29 @@
     random draw flows from one SplitMix64 stream, and the EVM substrate
     is itself deterministic. *)
 
-val run : ?config:Config.t -> Minisol.Contract.t -> Report.t
-(** Fuzz one contract until the execution budget is exhausted. *)
+val run :
+  ?config:Config.t ->
+  ?sinks:Telemetry.Sink.t list ->
+  ?metrics:Telemetry.Metrics.t ->
+  Minisol.Contract.t ->
+  Report.t
+(** Fuzz one contract until the execution budget is exhausted.
+
+    Telemetry: the campaign emits {!Telemetry.Event.t} values to a bus
+    assembled from [config.trace_path] / [config.status_interval] plus
+    any [sinks] given here, and records counters/gauges into [metrics]
+    (a private registry is created when omitted). With no sinks
+    configured the bus is {!Telemetry.Bus.null} and every emission is a
+    single array-length test, so default campaigns behave bit-for-bit
+    as before. *)
 
 val run_parallel :
-  ?config:Config.t -> ?pool:Pool.t -> Minisol.Contract.t -> Report.t
+  ?config:Config.t ->
+  ?pool:Pool.t ->
+  ?sinks:Telemetry.Sink.t list ->
+  ?metrics:Telemetry.Metrics.t ->
+  Minisol.Contract.t ->
+  Report.t
 (** Multicore campaign: seed-energy batches are sharded across a
     {!Pool} of worker domains, each with its own executor state cache, a
     private RNG stream ({!Util.Rng.derive}) and a domain-local coverage
@@ -23,7 +41,14 @@ val run_parallel :
 
     An explicit [pool] overrides [config.jobs] and lets callers amortise
     domain spawning across many campaigns; otherwise a pool of
-    [config.jobs] workers is created and shut down internally. *)
+    [config.jobs] workers is created and shut down internally.
+
+    Telemetry follows {!run}: workers emit [Exec_completed] and
+    [Mask_updated] from their domains (the bus serialises sink calls),
+    the coordinator emits queue/finding/energy events plus one
+    [Batch_merge] and the per-round [New_branch_side] diff after each
+    merge, and an internally created pool reports [Pool_steal] events
+    through the same bus. *)
 
 val run_many :
   ?config:Config.t -> ?pool:Pool.t -> Minisol.Contract.t list -> Report.t list

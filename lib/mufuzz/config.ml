@@ -24,6 +24,9 @@ type t = {
   state_caching : bool;
   initial_corpus : Seed.t list;
   prefix_params : Analysis.Prefix.params;
+  (* telemetry — both default to off, keeping the no-op-bus guarantee *)
+  trace_path : string option;
+  status_interval : float;
 }
 
 let default =
@@ -51,6 +54,8 @@ let default =
     state_caching = true;
     initial_corpus = [];
     prefix_params = Analysis.Prefix.default_params;
+    trace_path = None;
+    status_interval = 0.0;
   }
 
 let with_budget t budget = { t with max_executions = budget }

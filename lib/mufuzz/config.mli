@@ -60,6 +60,14 @@ type t = {
       (** seeds executed and enqueued before generation starts (corpus
           resume / replay); empty by default *)
   prefix_params : Analysis.Prefix.params;
+  (* observability (see {!Campaign}: a campaign builds its event bus
+     from these plus any sinks the caller passes) *)
+  trace_path : string option;
+      (** write a JSONL event trace here; [None] (the default) attaches
+          no trace sink *)
+  status_interval : float;
+      (** seconds between live status lines on stderr; [0.] (the
+          default) disables the status sink *)
 }
 
 val default : t

@@ -25,7 +25,7 @@ type run = {
   received_value : bool;
 }
 
-let run_seed ~contract ~gas ~n_senders ~attacker ?cache (seed : Seed.t) =
+let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t) =
   let senders = Array.of_list (sender_pool n_senders) in
   let initial_state =
     let st = Minisol.Contract.deploy Evm.State.empty contract_address contract in
@@ -61,6 +61,25 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache (seed : Seed.t) =
       in
       probe n
   in
+  (match metrics with
+  | Some m ->
+    if start > 0 then
+      Telemetry.Metrics.incr
+        (Telemetry.Metrics.counter m "mufuzz_cache_prefix_hits_total"
+           ~help:"seed executions resumed from a cached state prefix");
+    Telemetry.Metrics.add
+      (Telemetry.Metrics.counter m "mufuzz_txs_total"
+         ~help:"transactions executed (cached prefixes excluded)")
+      (n - start)
+  | None -> ());
+  let gas_histogram =
+    match metrics with
+    | Some m ->
+      Some
+        (Telemetry.Metrics.histogram m "mufuzz_tx_gas_used"
+           ~help:"gas used per executed transaction")
+    | None -> None
+  in
   let state = ref state0 in
   let block = ref block0 in
   let received_value = ref rv0 in
@@ -83,6 +102,9 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache (seed : Seed.t) =
       }
     in
     let st', trace = Evm.Interp.execute ~config ~block:!block ~state:!state msg in
+    (match gas_histogram with
+    | Some h -> Telemetry.Metrics.observe h (float_of_int trace.gas_used)
+    | None -> ());
     state := st';
     block := Evm.Interp.advance_block !block;
     let success = Evm.Trace.succeeded trace in

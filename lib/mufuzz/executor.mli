@@ -33,10 +33,14 @@ val run_seed :
   n_senders:int ->
   attacker:bool ->
   ?cache:State_cache.t ->
+  ?metrics:Telemetry.Metrics.t ->
   Seed.t ->
   run
 (** Deploys the contract, funds the sender pool, then executes the
     seed's transactions in order, advancing the block between them.
     Constructor transactions are always issued by {!deployer}. A cache,
     when given, must be dedicated to this (contract, gas, n_senders,
-    attacker) configuration. *)
+    attacker) configuration. With [metrics], records
+    [mufuzz_txs_total], [mufuzz_cache_prefix_hits_total] and the
+    [mufuzz_tx_gas_used] histogram — all lock-free, safe from worker
+    domains. *)

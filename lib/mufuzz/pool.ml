@@ -30,6 +30,9 @@ type t = {
   stall_seconds : float array;
   mutable steals : int;
   mutable domains : unit Domain.t array;
+  bus : Telemetry.Bus.t;
+  m_tasks : Telemetry.Metrics.counter option;
+  m_steals : Telemetry.Metrics.counter option;
 }
 
 let size t = t.size
@@ -53,6 +56,9 @@ let take_task t me =
           stolen := Queue.pop q
         done;
         t.steals <- t.steals + 1;
+        (match t.m_steals with Some c -> Telemetry.Metrics.incr c | None -> ());
+        Telemetry.Bus.emit t.bus
+          (Telemetry.Event.Pool_steal { thief = me; victim });
         found := Some !stolen
       end
     done;
@@ -87,14 +93,18 @@ let worker t me =
       (try task me with _ -> ());
       t.busy_seconds.(me) <- t.busy_seconds.(me) +. (Unix.gettimeofday () -. t0);
       t.tasks_run.(me) <- t.tasks_run.(me) + 1;
+      (match t.m_tasks with Some c -> Telemetry.Metrics.incr c | None -> ());
       Mutex.lock t.mutex;
       t.pending <- t.pending - 1;
       if t.pending = 0 then Condition.broadcast t.batch_done;
       Mutex.unlock t.mutex)
   done
 
-let create ~jobs =
+let create ?(bus = Telemetry.Bus.null) ?metrics ~jobs () =
   let jobs = Stdlib.max 1 jobs in
+  let handle name help =
+    Option.map (fun m -> Telemetry.Metrics.counter m name ~help) metrics
+  in
   let t =
     {
       size = jobs;
@@ -110,6 +120,12 @@ let create ~jobs =
       stall_seconds = Array.make jobs 0.0;
       steals = 0;
       domains = [||];
+      bus;
+      m_tasks =
+        handle "mufuzz_pool_tasks_total" "tasks completed by the domain pool";
+      m_steals =
+        handle "mufuzz_pool_steals_total"
+          "tasks stolen from a sibling worker's deque";
     }
   in
   t.domains <- Array.init jobs (fun i -> Domain.spawn (fun () -> worker t i));
@@ -177,6 +193,6 @@ let shutdown t =
   Mutex.unlock t.mutex;
   Array.iter Domain.join t.domains
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?bus ?metrics ~jobs f =
+  let t = create ?bus ?metrics ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

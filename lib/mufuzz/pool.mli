@@ -14,8 +14,13 @@
 
 type t
 
-val create : jobs:int -> t
-(** Spawn [max 1 jobs] worker domains, parked until work arrives. *)
+val create :
+  ?bus:Telemetry.Bus.t -> ?metrics:Telemetry.Metrics.t -> jobs:int -> unit -> t
+(** Spawn [max 1 jobs] worker domains, parked until work arrives.
+    With [bus], every work-stealing event is emitted as
+    [Pool_steal {thief; victim}]; with [metrics], workers record
+    [mufuzz_pool_tasks_total] and [mufuzz_pool_steals_total] through
+    lock-free counters. Both default to off (no overhead). *)
 
 val size : t -> int
 (** Number of worker domains. *)
@@ -50,6 +55,8 @@ val shutdown : t -> unit
 (** Drain, stop and join every worker domain. The pool must not be used
     afterwards. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?bus:Telemetry.Bus.t -> ?metrics:Telemetry.Metrics.t -> jobs:int ->
+  (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
     down, including on exceptions. *)

@@ -61,4 +61,14 @@ let load_corpus ~abi path =
     |> fun (done_, cur) ->
     List.rev (if cur = [] then done_ else List.rev cur :: done_)
   in
-  List.map (fun lines -> seed_of_string ~abi (String.concat "\n" lines)) blocks
+  (* one corrupt block loses that seed, never the corpus: collect the
+     good seeds and report each skipped block as (index, reason) *)
+  let seeds_rev, skipped_rev, _ =
+    List.fold_left
+      (fun (seeds, skipped, i) lines ->
+        match seed_of_string ~abi (String.concat "\n" lines) with
+        | seed -> (seed :: seeds, skipped, i + 1)
+        | exception Corrupt reason -> (seeds, (i, reason) :: skipped, i + 1))
+      ([], [], 0) blocks
+  in
+  (List.rev seeds_rev, List.rev skipped_rev)

@@ -17,5 +17,11 @@ val seed_of_string : abi:Abi.func list -> string -> Seed.t
 
 val save_corpus : string -> Seed.t list -> unit
 
-val load_corpus : abi:Abi.func list -> string -> Seed.t list
-(** @raise Corrupt / [Sys_error]. *)
+val load_corpus :
+  abi:Abi.func list -> string -> Seed.t list * (int * string) list
+(** Tolerant corpus load: the seeds that parsed, in file order, plus
+    one [(block_index, reason)] per corrupt block skipped — a damaged
+    seed never discards the rest of the corpus. (Use
+    {!seed_of_string}, which still raises {!Corrupt}, when a parse
+    must be strict.)
+    @raise Sys_error on an unreadable file. *)

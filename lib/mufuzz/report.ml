@@ -98,10 +98,94 @@ let to_text t =
           d.domain d.d_execs (execs_per_sec d) d.stall_seconds)
       p.domains);
   pf "\ncoverage growth (execs -> covered sides)\n";
-  let step = Stdlib.max 1 (List.length t.over_time / 20) in
+  (* sample every [step]-th checkpoint but always print the final one;
+     the length is hoisted so the last-index test is exact (and not
+     recomputed per element) even when the list is empty or its length
+     is a multiple of the step *)
+  let n_checkpoints = List.length t.over_time in
+  let step = Stdlib.max 1 (n_checkpoints / 20) in
   List.iteri
     (fun i (cp : checkpoint) ->
-      if i mod step = 0 || i = List.length t.over_time - 1 then
+      if i mod step = 0 || i = n_checkpoints - 1 then
         pf "  %6d %4d\n" cp.execs cp.covered)
     t.over_time;
   Buffer.contents buf
+
+(* ---------------- machine-readable report ---------------- *)
+
+let to_json t =
+  let module J = Telemetry.Json in
+  let finding_json (f : Oracles.Oracle.finding) =
+    J.Obj
+      [
+        ("class", J.String (Oracles.Oracle.class_to_string f.cls));
+        ("pc", J.Int f.pc);
+        ("tx_index", J.Int f.tx_index);
+        ("detail", J.String f.detail);
+      ]
+  in
+  let parallel_json (p : parallel_stats) =
+    J.Obj
+      [
+        ("jobs", J.Int p.jobs);
+        ("rounds", J.Int p.rounds);
+        ("merge_seconds", J.Float p.merge_seconds);
+        ("steals", J.Int p.steals);
+        ( "domains",
+          J.List
+            (List.map
+               (fun d ->
+                 J.Obj
+                   [
+                     ("domain", J.Int d.domain);
+                     ("execs", J.Int d.d_execs);
+                     ("busy_seconds", J.Float d.busy_seconds);
+                     ("stall_seconds", J.Float d.stall_seconds);
+                     ("execs_per_sec", J.Float (execs_per_sec d));
+                   ])
+               p.domains) );
+      ]
+  in
+  J.Obj
+    [
+      ("contract", J.String t.contract_name);
+      ("executions", J.Int t.executions);
+      ("wall_seconds", J.Float t.wall_seconds);
+      ( "execs_per_sec",
+        J.Float
+          (if t.wall_seconds > 0.0 then
+             float_of_int t.executions /. t.wall_seconds
+           else 0.0) );
+      ("covered_branches", J.Int t.covered_branches);
+      ("total_branch_sides", J.Int t.total_branch_sides);
+      ("coverage_pct", J.Float (coverage_pct t));
+      ( "covered",
+        J.List
+          (List.map
+             (fun (pc, taken) ->
+               J.Obj [ ("pc", J.Int pc); ("taken", J.Bool taken) ])
+             t.covered) );
+      ("findings", J.List (List.map finding_json t.findings));
+      ( "witnesses",
+        J.List
+          (List.map
+             (fun ((f : Oracles.Oracle.finding), w) ->
+               J.Obj
+                 [
+                   ("class", J.String (Oracles.Oracle.class_to_string f.cls));
+                   ("pc", J.Int f.pc);
+                   ("sequence", J.String w);
+                 ])
+             t.witnesses) );
+      ( "over_time",
+        J.List
+          (List.map
+             (fun (cp : checkpoint) ->
+               J.Obj [ ("execs", J.Int cp.execs); ("covered", J.Int cp.covered) ])
+             t.over_time) );
+      ("seeds_in_queue", J.Int t.seeds_in_queue);
+      ( "parallel",
+        match t.parallel with None -> J.Null | Some p -> parallel_json p );
+    ]
+
+let to_json_string t = Telemetry.Json.to_string (to_json t)

@@ -52,4 +52,15 @@ val pp_summary : Format.formatter -> t -> unit
 val to_text : t -> string
 (** Full plain-text report: summary, per-class counts, every finding with
     its witness sequence, and the coverage growth curve — what the CLI
-    writes with [--out]. *)
+    writes with [--out]. The growth curve is sampled at ~20 points with
+    the final checkpoint always included. *)
+
+val to_json : t -> Telemetry.Json.t
+(** The machine-readable report: every field of [t] except the raw
+    seeds ([witness_seeds], [corpus] — those serialise through
+    {!Replay}), plus derived [coverage_pct] and [execs_per_sec]. This
+    is what [mufuzz fuzz --json] prints and the bench harness
+    ingests. *)
+
+val to_json_string : t -> string
+(** [Telemetry.Json.to_string] of {!to_json}: one compact line. *)

@@ -1,0 +1,30 @@
+type t = {
+  sinks : Sink.t array;
+  mutex : Mutex.t;
+  mutable finalized : bool;
+}
+
+let null = { sinks = [||]; mutex = Mutex.create (); finalized = false }
+
+let create sinks =
+  { sinks = Array.of_list sinks; mutex = Mutex.create (); finalized = false }
+
+let enabled t = Array.length t.sinks > 0
+
+let emit t ev =
+  if Array.length t.sinks > 0 then begin
+    Mutex.lock t.mutex;
+    if not t.finalized then
+      Array.iter (fun (s : Sink.t) -> s.on_event ev) t.sinks;
+    Mutex.unlock t.mutex
+  end
+
+let finalize t =
+  if Array.length t.sinks > 0 then begin
+    Mutex.lock t.mutex;
+    if not t.finalized then begin
+      t.finalized <- true;
+      Array.iter (fun (s : Sink.t) -> s.on_finalize ()) t.sinks
+    end;
+    Mutex.unlock t.mutex
+  end

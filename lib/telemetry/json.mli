@@ -1,0 +1,37 @@
+(** A minimal JSON tree, printer and parser.
+
+    The repository deliberately carries no third-party JSON dependency;
+    this module is the single codec behind the JSONL event trace, the
+    machine-readable campaign report ([Report.to_json]) and the bench
+    harness that consumes both. It covers exactly RFC 8259 minus
+    extravagances nobody here emits: numbers parse to [Int] when they
+    are integral decimals and to [Float] otherwise. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (the JSONL framing requirement).
+    Strings are escaped per RFC 8259; non-finite floats render as
+    [null] (JSON has no representation for them). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; trailing garbage is an error. The error
+    string names the offending byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val string_value : t -> string option

@@ -1,0 +1,136 @@
+type counter = { c_value : int Atomic.t }
+
+type gauge = { g_value : float Atomic.t }
+
+type histogram = {
+  h_bounds : float array;  (* strictly increasing upper bounds *)
+  h_buckets : int Atomic.t array;  (* length = bounds + 1 (the +Inf bucket) *)
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type entry = { help : string; metric : metric }
+
+type t = {
+  mutex : Mutex.t;  (* guards registration only; updates are lock-free *)
+  table : (string, entry) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 16 }
+
+let register t name help make describe =
+  Mutex.lock t.mutex;
+  let metric =
+    match Hashtbl.find_opt t.table name with
+    | Some { metric; _ } -> metric
+    | None ->
+      let m = make () in
+      Hashtbl.replace t.table name { help; metric = m };
+      m
+  in
+  Mutex.unlock t.mutex;
+  match describe metric with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Metrics: %s registered with another kind" name)
+
+let counter t ?(help = "") name =
+  register t name help
+    (fun () -> Counter { c_value = Atomic.make 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = ignore (Atomic.fetch_and_add c.c_value 1)
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotone";
+  ignore (Atomic.fetch_and_add c.c_value n)
+
+let value c = Atomic.get c.c_value
+
+let gauge t ?(help = "") name =
+  register t name help
+    (fun () -> Gauge { g_value = Atomic.make 0.0 })
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
+
+let default_buckets = [ 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7 ]
+
+let histogram t ?(help = "") ?(buckets = default_buckets) name =
+  let bounds = Array.of_list buckets in
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    bounds;
+  register t name help
+    (fun () ->
+      Histogram
+        {
+          h_bounds = bounds;
+          h_buckets = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0.0;
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  let n = Array.length h.h_bounds in
+  let rec bucket i = if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1) in
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket 0) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  (* float sum: CAS loop (no fetch_and_add for floats) *)
+  let rec loop () =
+    let old = Atomic.get h.h_sum in
+    if not (Atomic.compare_and_set h.h_sum old (old +. v)) then loop ()
+  in
+  loop ()
+
+let histogram_count h = Atomic.get h.h_count
+let histogram_sum h = Atomic.get h.h_sum
+
+(* ---------------- Prometheus text dump ---------------- *)
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let dump t =
+  Mutex.lock t.mutex;
+  let entries =
+    Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Mutex.unlock t.mutex;
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, { help; metric }) ->
+      if help <> "" then pf "# HELP %s %s\n" name help;
+      match metric with
+      | Counter c ->
+        pf "# TYPE %s counter\n" name;
+        pf "%s %d\n" name (value c)
+      | Gauge g ->
+        pf "# TYPE %s gauge\n" name;
+        pf "%s %s\n" name (float_str (gauge_value g))
+      | Histogram h ->
+        pf "# TYPE %s histogram\n" name;
+        let cumulative = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cumulative := !cumulative + Atomic.get h.h_buckets.(i);
+            pf "%s_bucket{le=\"%s\"} %d\n" name (float_str bound) !cumulative)
+          h.h_bounds;
+        cumulative :=
+          !cumulative + Atomic.get h.h_buckets.(Array.length h.h_bounds);
+        pf "%s_bucket{le=\"+Inf\"} %d\n" name !cumulative;
+        pf "%s_sum %s\n" name (float_str (histogram_sum h));
+        pf "%s_count %d\n" name (histogram_count h))
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** Domain-safe metrics registry: counters, gauges and histograms
+    backed by [Atomic], so worker domains record without taking any
+    lock — the registry mutex guards only name registration, never the
+    hot-path updates.
+
+    Handles ([counter], [gauge], [histogram]) are cheap to hold;
+    registration is idempotent (asking for an existing name returns
+    the existing metric; asking with a different kind is a programmer
+    error and raises [Invalid_argument]). [dump] renders the
+    Prometheus text exposition format, metrics sorted by name so the
+    output is deterministic. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+(** Monotone integer, [Atomic.fetch_and_add] underneath. *)
+
+val counter : t -> ?help:string -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** [add c n] with negative [n] raises [Invalid_argument] — counters
+    are monotone by contract. *)
+
+val value : counter -> int
+
+type gauge
+(** A float that goes both ways ([Atomic.set]/[Atomic.get]). *)
+
+val gauge : t -> ?help:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type histogram
+(** Cumulative fixed-bucket histogram; observation is a few atomic
+    adds (bucket, count) plus one CAS loop (sum). *)
+
+val histogram : t -> ?help:string -> ?buckets:float list -> string -> histogram
+(** [buckets] are upper bounds, strictly increasing; a [+Inf] bucket
+    is implicit. Default buckets suit sub-second latencies and
+    per-transaction gas: powers of 10 from 1e1 to 1e7. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val dump : t -> string
+(** Prometheus text format: [# HELP] / [# TYPE] headers, histogram
+    [_bucket{le=...}] / [_sum] / [_count] series. *)

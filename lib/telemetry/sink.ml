@@ -1,0 +1,88 @@
+type t = {
+  on_event : Event.t -> unit;
+  on_finalize : unit -> unit;
+}
+
+(* ---------------- JSONL trace writer ---------------- *)
+
+let jsonl path =
+  let oc = open_out path in
+  let buf = Buffer.create (1 lsl 16) in
+  let flush_buf () =
+    Buffer.output_buffer oc buf;
+    Buffer.clear buf;
+    flush oc
+  in
+  {
+    on_event =
+      (fun ev ->
+        Buffer.add_string buf (Json.to_string (Event.to_json ev));
+        Buffer.add_char buf '\n';
+        if Buffer.length buf >= 1 lsl 16 then flush_buf ());
+    on_finalize =
+      (fun () ->
+        flush_buf ();
+        close_out oc);
+  }
+
+(* ---------------- bounded ring buffer ---------------- *)
+
+type ring = {
+  capacity : int;
+  q : Event.t Queue.t;
+  mutable dropped : int;
+}
+
+let ring ~capacity = { capacity = Stdlib.max 1 capacity; q = Queue.create (); dropped = 0 }
+
+let ring_sink r =
+  {
+    on_event =
+      (fun ev ->
+        Queue.push ev r.q;
+        if Queue.length r.q > r.capacity then begin
+          ignore (Queue.pop r.q);
+          r.dropped <- r.dropped + 1
+        end);
+    on_finalize = (fun () -> ());
+  }
+
+let ring_contents r = List.of_seq (Queue.to_seq r.q)
+let ring_dropped r = r.dropped
+
+(* ---------------- live status line ---------------- *)
+
+let status ?(out = stderr) ~interval ~total_sides () =
+  let start = Unix.gettimeofday () in
+  let last = ref start in
+  let execs = ref 0 in
+  let covered = ref 0 in
+  let findings = ref 0 in
+  let line now =
+    let pct =
+      if total_sides = 0 then 0.0
+      else 100.0 *. float_of_int !covered /. float_of_int total_sides
+    in
+    let elapsed = now -. start in
+    let rate = if elapsed > 0.0 then float_of_int !execs /. elapsed else 0.0 in
+    Printf.fprintf out
+      "[mufuzz] execs %d | coverage %.1f%% (%d/%d) | findings %d | %.1f execs/sec\n%!"
+      !execs pct !covered total_sides !findings rate
+  in
+  {
+    on_event =
+      (fun ev ->
+        match ev with
+        | Event.Exec_completed _ ->
+          incr execs;
+          let now = Unix.gettimeofday () in
+          if now -. !last >= interval then begin
+            last := now;
+            line now
+          end
+        | Event.New_branch_side { covered = c; _ } ->
+          if c > !covered then covered := c
+        | Event.Finding_raised _ -> incr findings
+        | _ -> ());
+    on_finalize = (fun () -> line (Unix.gettimeofday ()));
+  }

@@ -1,0 +1,38 @@
+(** Event consumers pluggable into a {!Bus}.
+
+    A sink is a pair of callbacks; the bus serialises calls to them
+    under its own mutex, so sink implementations need no locking of
+    their own even when worker domains emit concurrently. *)
+
+type t = {
+  on_event : Event.t -> unit;
+  on_finalize : unit -> unit;
+      (** called exactly once when the owning bus is finalised; flush
+          and release resources here *)
+}
+
+val jsonl : string -> t
+(** [jsonl path] appends one compact JSON object per event to [path]
+    (truncating any existing file), buffered in memory and flushed when
+    the buffer passes 64 KiB and on finalize. The finalize closes the
+    channel. *)
+
+(** Bounded in-memory event store, for tests and programmatic
+    inspection. When full, the oldest event is dropped. *)
+type ring
+
+val ring : capacity:int -> ring
+val ring_sink : ring -> t
+val ring_contents : ring -> Event.t list
+(** Oldest first; at most [capacity] events. *)
+
+val ring_dropped : ring -> int
+(** Events discarded because the ring was full. *)
+
+val status :
+  ?out:out_channel -> interval:float -> total_sides:int -> unit -> t
+(** Live progress line: every [interval] seconds of wall time (checked
+    on each execution event) prints
+    [execs, coverage %, findings, execs/sec] to [out] (default
+    [stderr]), plus one final line on finalize. [total_sides] scales
+    the coverage percentage; 0 renders as 0%. *)

@@ -386,6 +386,47 @@ let report_tests =
         Alcotest.(check bool) "has coverage" true (contains "branch coverage");
         Alcotest.(check bool) "has US class" true (contains "US");
         Alcotest.(check bool) "has growth" true (contains "coverage growth"));
+    unit "to_text always prints the final coverage checkpoint" (fun () ->
+        (* 45 checkpoints: step = 45/20 = 2, and 44 (the last index) is
+           even, so before the fix the final sample depended on parity;
+           47 checkpoints give step 2 with an odd last index — both must
+           end on the true final value *)
+        List.iter
+          (fun n ->
+            let over_time =
+              List.init n (fun i ->
+                  { Mufuzz.Report.execs = i + 1; covered = i + 1 })
+            in
+            let r =
+              {
+                Mufuzz.Report.contract_name = "T";
+                executions = n;
+                covered_branches = n;
+                covered = [];
+                total_branch_sides = 2 * n;
+                findings = [];
+                witnesses = [];
+                witness_seeds = [];
+                over_time;
+                seeds_in_queue = 0;
+                corpus = [];
+                wall_seconds = 0.0;
+                parallel = None;
+              }
+            in
+            let text = Mufuzz.Report.to_text r in
+            let final = Printf.sprintf "  %6d %4d\n" n n in
+            let contains needle =
+              let k = String.length needle and m = String.length text in
+              let rec go i =
+                i + k <= m && (String.sub text i k = needle || go (i + 1))
+              in
+              go 0
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "final checkpoint printed (n=%d)" n)
+              true (contains final))
+          [ 1; 2; 19; 20; 45; 46; 47; 100 ]);
     unit "findings_by_class counts match findings" (fun () ->
         let c = Minisol.Contract.compile Corpus.Examples.suicidal in
         let r =
@@ -516,9 +557,33 @@ let replay_tests =
         in
         let path = Filename.temp_file "corpus" ".txt" in
         Mufuzz.Replay.save_corpus path seeds;
-        let loaded = Mufuzz.Replay.load_corpus ~abi:c.abi path in
+        let loaded, skipped = Mufuzz.Replay.load_corpus ~abi:c.abi path in
         Sys.remove path;
-        Alcotest.(check int) "three seeds" 3 (List.length loaded));
+        Alcotest.(check int) "three seeds" 3 (List.length loaded);
+        Alcotest.(check int) "nothing skipped" 0 (List.length skipped));
+    unit "corrupt block skipped, rest load" (fun () ->
+        let c = Minisol.Contract.compile Corpus.Examples.crowdsale in
+        let rng = Util.Rng.create 23L in
+        let seeds =
+          List.init 2 (fun _ ->
+              Mufuzz.Seed.of_sequence rng ~n_senders:3 c.abi
+                [ "constructor"; "invest" ])
+        in
+        let path = Filename.temp_file "corpus" ".txt" in
+        (* good block, corrupt block (unknown function), good block *)
+        let oc = open_out path in
+        output_string oc (Mufuzz.Replay.seed_to_string (List.nth seeds 0));
+        output_string oc "\nnonsense 0 aa\n\n";
+        output_string oc (Mufuzz.Replay.seed_to_string (List.nth seeds 1));
+        close_out oc;
+        let loaded, skipped = Mufuzz.Replay.load_corpus ~abi:c.abi path in
+        Sys.remove path;
+        Alcotest.(check int) "two seeds survive" 2 (List.length loaded);
+        (match skipped with
+        | [ (1, reason) ] ->
+          Alcotest.(check bool) "reason mentions the function" true
+            (String.length reason > 0)
+        | _ -> Alcotest.fail "expected exactly block 1 skipped"));
     unit "unknown function rejected" (fun () ->
         let c = Minisol.Contract.compile Corpus.Examples.crowdsale in
         match Mufuzz.Replay.seed_of_string ~abi:c.abi "nonsense 0 aa\n" with
