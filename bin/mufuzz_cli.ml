@@ -5,7 +5,9 @@
      analyze <file.sol>   — static front end: sequence, dependencies, CFG
      disasm <file.sol>    — compile and print the bytecode listing
      exec <file.sol> fn   — run a single transaction and dump the trace
-     static <file.sol>    — run the reimplemented static analyzers *)
+     static <file.sol>    — run the reimplemented static analyzers
+     shrink <repro.json>  — delta-debug a repro artifact to a minimal one
+     repro <repro.json>…  — replay repro artifacts; exit 0 iff all fire *)
 
 open Cmdliner
 
@@ -98,11 +100,25 @@ let metrics_arg =
          ~doc:"Write the final metrics registry to FILE in Prometheus \
                text exposition format.")
 
+let strict_corpus_arg =
+  Arg.(value & flag & info [ "strict-corpus" ]
+         ~doc:"Treat corrupt seed blocks in $(b,--corpus) as fatal: report \
+               each skipped block and exit nonzero instead of fuzzing a \
+               silently smaller corpus.")
+
+let artifacts_arg =
+  Arg.(value & opt (some string) None & info [ "artifacts" ] ~docv:"DIR"
+         ~doc:"After the campaign, shrink each unique finding's witness \
+               and write one deterministic repro artifact (JSON) per \
+               finding into DIR (created if missing). Replay them later \
+               with $(b,mufuzz repro).")
+
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
   let run file budget seed jobs tool disabled out do_minimize corpus_in
-      corpus_out json trace status_interval metrics_out verbose =
+      corpus_out json trace status_interval metrics_out strict_corpus
+      artifacts_dir verbose =
     setup_logs verbose;
     let contract = load file in
     let profile =
@@ -115,6 +131,7 @@ let fuzz_cmd =
     let config =
       { Mufuzz.Config.default with max_executions = budget; rng_seed = seed;
         jobs = Stdlib.max 1 jobs; trace_path = trace;
+        strict_corpus;
         status_interval = Stdlib.max 0.0 status_interval }
     in
     let config =
@@ -129,7 +146,7 @@ let fuzz_cmd =
             exit 1)
         config disabled
     in
-    let config =
+    let config, corpus_skipped =
       match corpus_in with
       | Some path ->
         let seeds, skipped =
@@ -137,14 +154,21 @@ let fuzz_cmd =
         in
         List.iter
           (fun (i, reason) ->
-            Printf.eprintf "warning: %s: skipped corrupt seed block %d: %s\n"
+            Printf.eprintf "%s: %s: skipped corrupt seed block %d: %s\n"
+              (if config.strict_corpus then "error" else "warning")
               path i reason)
           skipped;
+        if config.strict_corpus && skipped <> [] then begin
+          Printf.eprintf
+            "%s: %d corrupt seed block(s) with --strict-corpus; aborting\n"
+            path (List.length skipped);
+          exit 2
+        end;
         if not json then
           Printf.printf "loaded %d corpus seeds from %s\n" (List.length seeds)
             path;
-        { config with initial_corpus = seeds }
-      | None -> config
+        ({ config with initial_corpus = seeds }, skipped)
+      | None -> (config, [])
     in
     if not json then begin
       Printf.printf "fuzzing %s with %s (budget %d, seed %Ld, jobs %d)\n"
@@ -154,6 +178,31 @@ let fuzz_cmd =
     end;
     let metrics = Telemetry.Metrics.create () in
     let report = Baselines.Fuzzers.run profile ~config ~metrics contract in
+    let report = { report with Mufuzz.Report.corpus_skipped } in
+    (match artifacts_dir with
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let target = Triage.Shrink.target_of_config config contract in
+      List.iter
+        (fun ((f : Oracles.Oracle.finding), seed) ->
+          let r = Triage.Shrink.shrink ~target f seed in
+          match Triage.Shrink.reraise ~target f r.seed with
+          | None ->
+            Printf.eprintf "warning: finding [%s] pc=%d did not reproduce; no artifact written\n"
+              (Oracles.Oracle.class_to_string f.cls) f.pc
+          | Some finding ->
+            let a =
+              Triage.Artifact.make ~contract ~gas_per_tx:config.gas_per_tx
+                ~n_senders:config.n_senders ~attacker:config.attacker_enabled
+                ~finding ~seed:r.seed
+            in
+            let path = Filename.concat dir (Triage.Artifact.file_name a) in
+            Triage.Artifact.save path a;
+            if not json then
+              Printf.printf "artifact: %s (%d txs, %d shrink execs)\n" path
+                (List.length r.seed.txs) r.execs)
+        report.witness_seeds
+    | None -> ());
     (match metrics_out with
     | Some path ->
       let oc = open_out path in
@@ -227,7 +276,7 @@ let fuzz_cmd =
     Term.(const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ tool_arg
           $ ablation_arg $ out_arg $ minimize_arg $ corpus_in_arg $ corpus_out_arg
           $ json_arg $ trace_arg $ status_interval_arg $ metrics_arg
-          $ verbose_arg)
+          $ strict_corpus_arg $ artifacts_arg $ verbose_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -331,6 +380,78 @@ let corpus_cmd =
        ~doc:"Export the labelled D2 vulnerability suite as .sol files.")
     Term.(const run $ dir_arg)
 
+(* ---------------- shrink ---------------- *)
+
+let load_artifact path =
+  match Triage.Artifact.load path with
+  | Ok a -> a
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1
+
+let shrink_cmd =
+  let artifact_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"REPRO"
+           ~doc:"Repro artifact (JSON) to minimise.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the shrunk artifact to FILE (default: overwrite the \
+                 input in place).")
+  in
+  let max_execs_arg =
+    Arg.(value & opt int 4000 & info [ "max-execs" ] ~docv:"N"
+           ~doc:"Execution budget for the shrink.")
+  in
+  let run path out max_execs =
+    let a = load_artifact path in
+    match Triage.Repro.shrink ~max_execs a with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 1
+    | Ok (shrunk, execs) ->
+      let dest = Option.value out ~default:path in
+      Triage.Artifact.save dest shrunk;
+      Printf.printf "%s: %d -> %d txs (%d execs), wrote %s\n" path
+        (List.length a.seed.txs)
+        (List.length shrunk.seed.txs)
+        execs dest
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:"Delta-debug a repro artifact to a minimal, still-failing one.")
+    Term.(const run $ artifact_arg $ out_arg $ max_execs_arg)
+
+(* ---------------- repro ---------------- *)
+
+let repro_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"REPRO"
+           ~doc:"Repro artifacts (JSON) to replay.")
+  in
+  let run files =
+    let failures =
+      List.fold_left
+        (fun failures path ->
+          let a = load_artifact path in
+          let o = Triage.Repro.replay a in
+          Printf.printf "%s %s: %s\n"
+            (if o.ok then "ok  " else "FAIL")
+            path (Triage.Repro.describe a o);
+          if o.ok then failures else failures + 1)
+        0 files
+    in
+    if failures > 0 then begin
+      Printf.eprintf "%d of %d artifact(s) failed to reproduce\n" failures
+        (List.length files);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:"Replay repro artifacts; exit 0 iff every recorded oracle fires.")
+    Term.(const run $ files_arg)
+
 (* ---------------- static ---------------- *)
 
 let static_cmd =
@@ -365,4 +486,5 @@ let () =
       ~doc:"Sequence-aware smart contract fuzzing (MuFuzz, ICDE 2024 reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ fuzz_cmd; analyze_cmd; disasm_cmd; exec_cmd; static_cmd; corpus_cmd ]))
+       [ fuzz_cmd; analyze_cmd; disasm_cmd; exec_cmd; static_cmd; corpus_cmd;
+         shrink_cmd; repro_cmd ]))

@@ -134,6 +134,10 @@ let run profile ?(config = C.default) ?pool ?sinks ?metrics contract =
   {
     report with
     Mufuzz.Report.findings = List.filter keep report.findings;
+    occurrences =
+      List.filter
+        (fun ((k : O.key), _) -> List.mem k.k_cls profile.supports)
+        report.occurrences;
     witnesses = List.filter (fun (f, _) -> keep f) report.witnesses;
     witness_seeds = List.filter (fun (f, _) -> keep f) report.witness_seeds;
   }

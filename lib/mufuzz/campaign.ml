@@ -61,6 +61,17 @@ let frontier_dists_of_results coverage (results : Executor.tx_result list) =
 let frontier_dists_of_run coverage (run : Executor.run) =
   frontier_dists_of_results coverage run.tx_results
 
+(* Triage identity of one alarm occurrence: the call path is the
+   function-name prefix of the witnessing sequence up to (and including)
+   the raising transaction; whole-contract findings (tx_index = -1,
+   e.g. EF) use the empty path. *)
+let finding_key (seed : Seed.t) (f : Oracles.Oracle.finding) =
+  Oracles.Oracle.key_of ~call_path:(Seed.call_path seed ~upto:f.tx_index) f
+
+let sorted_occurrences occ =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) occ []
+  |> List.sort (fun (a, _) (b, _) -> Oracles.Oracle.compare_key a b)
+
 (* Immutable per-contract context, derived once and shared read-only by
    the sequential loop and every worker domain. *)
 type ctx = {
@@ -257,6 +268,7 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
   let findings_tbl : (Oracles.Oracle.bug_class * int, unit) Hashtbl.t =
     Hashtbl.create 16
   in
+  let occ : (Oracles.Oracle.key, int) Hashtbl.t = Hashtbl.create 32 in
   let findings = ref [] in
   let witnesses = ref [] in
   let witness_seeds = ref [] in
@@ -297,6 +309,9 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
     in
     List.iter
       (fun (f : Oracles.Oracle.finding) ->
+        let tkey = finding_key seed f in
+        Hashtbl.replace occ tkey
+          (1 + Option.value ~default:0 (Hashtbl.find_opt occ tkey));
         let key = (f.cls, f.pc) in
         if not (Hashtbl.mem findings_tbl key) then begin
           Hashtbl.replace findings_tbl key ();
@@ -540,11 +555,13 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
       covered = List.sort compare (Coverage.covered coverage);
       total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points cfg);
       findings = Oracles.Oracle.dedup (List.rev !findings);
+      occurrences = sorted_occurrences occ;
       witnesses = List.rev !witnesses;
       witness_seeds = List.rev !witness_seeds;
       over_time = List.rev !checkpoints;
       seeds_in_queue = Array.length !queue;
       corpus = Array.to_list !queue |> List.map (fun e -> e.seed);
+      corpus_skipped = [];
       wall_seconds = Unix.gettimeofday () -. start_time;
       parallel = None;
     }
@@ -771,6 +788,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
   let findings_tbl : (Oracles.Oracle.bug_class * int, unit) Hashtbl.t =
     Hashtbl.create 16
   in
+  let occ : (Oracles.Oracle.key, int) Hashtbl.t = Hashtbl.create 32 in
   let findings = ref [] in
   let witnesses = ref [] in
   let witness_seeds = ref [] in
@@ -834,6 +852,9 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
   let note_findings seed fs =
     List.iter
       (fun (f : Oracles.Oracle.finding) ->
+        let tkey = finding_key seed f in
+        Hashtbl.replace occ tkey
+          (1 + Option.value ~default:0 (Hashtbl.find_opt occ tkey));
         let key = (f.cls, f.pc) in
         if not (Hashtbl.mem findings_tbl key) then begin
           Hashtbl.replace findings_tbl key ();
@@ -1118,11 +1139,13 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
     covered = List.sort compare (Coverage.covered coverage);
     total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points ctx.x_cfg);
     findings = Oracles.Oracle.dedup (List.rev !findings);
+    occurrences = sorted_occurrences occ;
     witnesses = List.rev !witnesses;
     witness_seeds = List.rev !witness_seeds;
     over_time = List.rev !checkpoints;
     seeds_in_queue = Array.length !queue;
     corpus = Array.to_list !queue |> List.map (fun e -> e.seed);
+    corpus_skipped = [];
     wall_seconds = Unix.gettimeofday () -. start_time;
     parallel =
       Some

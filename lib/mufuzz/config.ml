@@ -23,6 +23,7 @@ type t = {
   attacker_enabled : bool;
   state_caching : bool;
   initial_corpus : Seed.t list;
+  strict_corpus : bool;
   prefix_params : Analysis.Prefix.params;
   (* telemetry — both default to off, keeping the no-op-bus guarantee *)
   trace_path : string option;
@@ -53,6 +54,7 @@ let default =
     attacker_enabled = true;
     state_caching = true;
     initial_corpus = [];
+    strict_corpus = false;
     prefix_params = Analysis.Prefix.default_params;
     trace_path = None;
     status_interval = 0.0;

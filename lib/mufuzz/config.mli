@@ -59,6 +59,10 @@ type t = {
   initial_corpus : Seed.t list;
       (** seeds executed and enqueued before generation starts (corpus
           resume / replay); empty by default *)
+  strict_corpus : bool;
+      (** treat corrupt corpus blocks as fatal: consumers that load a
+          corpus (the CLI, the bench harness) must fail instead of
+          fuzzing a silently smaller corpus; [false] by default *)
   prefix_params : Analysis.Prefix.params;
   (* observability (see {!Campaign}: a campaign builds its event bus
      from these plus any sinks the caller passes) *)

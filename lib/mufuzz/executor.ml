@@ -130,3 +130,12 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
     final_state = !state;
     received_value = !received_value;
   }
+
+let inspect ~static (run : run) =
+  Oracles.Oracle.inspect_campaign ~static ~received_value:run.received_value
+    (List.map (fun (r : tx_result) -> (r.tx_index, r.success, r.trace))
+       run.tx_results)
+
+let findings ~contract ~gas ~n_senders ~attacker ?cache seed =
+  let run = run_seed ~contract ~gas ~n_senders ~attacker ?cache seed in
+  inspect ~static:(Oracles.Oracle.static_info_of contract) run

@@ -44,3 +44,19 @@ val run_seed :
     [mufuzz_txs_total], [mufuzz_cache_prefix_hits_total] and the
     [mufuzz_tx_gas_used] histogram — all lock-free, safe from worker
     domains. *)
+
+val inspect : static:Oracles.Oracle.static_info -> run -> Oracles.Oracle.finding list
+(** Run the nine oracles over a completed run — the campaign's and the
+    triage layer's single entry into {!Oracles.Oracle.inspect_campaign}. *)
+
+val findings :
+  contract:Minisol.Contract.t ->
+  gas:int ->
+  n_senders:int ->
+  attacker:bool ->
+  ?cache:State_cache.t ->
+  Seed.t ->
+  Oracles.Oracle.finding list
+(** [run_seed] followed by {!inspect} with the contract's own static
+    info — what replay-style consumers (minimiser, shrinker, repro)
+    call. *)

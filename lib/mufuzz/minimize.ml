@@ -1,18 +1,10 @@
 module U = Word.U256
 
-let findings_of ~contract ~gas ~n_senders ~attacker seed =
-  let run = Executor.run_seed ~contract ~gas ~n_senders ~attacker seed in
-  let static = Oracles.Oracle.static_info_of contract in
-  Oracles.Oracle.inspect_campaign ~static ~received_value:run.received_value
-    (List.map
-       (fun (r : Executor.tx_result) -> (r.tx_index, r.success, r.trace))
-       run.tx_results)
-
 let reproduces ~contract ~gas ~n_senders ~attacker (f : Oracles.Oracle.finding)
     seed =
   List.exists
     (fun (g : Oracles.Oracle.finding) -> g.cls = f.cls && g.pc = f.pc)
-    (findings_of ~contract ~gas ~n_senders ~attacker seed)
+    (Executor.findings ~contract ~gas ~n_senders ~attacker seed)
 
 let minimize ~contract ~gas ~n_senders ~attacker ?(max_steps = 200) finding seed =
   let steps = ref 0 in

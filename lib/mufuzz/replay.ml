@@ -6,22 +6,28 @@ let tx_to_line (tx : Seed.tx) =
 let seed_to_string (seed : Seed.t) =
   String.concat "\n" (List.map tx_to_line seed.txs) ^ "\n"
 
+(* Shared by the line format here and the triage artifact codec: resolve
+   a (function name, sender, hex stream) triple against an ABI. *)
+let tx_of_parts ~abi ~name ~sender ~hex =
+  match List.find_opt (fun (f : Abi.func) -> f.Abi.name = name) abi with
+  | None -> raise (Corrupt (Printf.sprintf "unknown function %s" name))
+  | Some fn ->
+    if sender < 0 then raise (Corrupt (Printf.sprintf "bad sender %d" sender));
+    let stream =
+      try Util.Hex.decode hex with Invalid_argument m -> raise (Corrupt m)
+    in
+    { Seed.fn; sender; stream }
+
 let rec tx_of_line ~abi line =
   match String.split_on_char ' ' (String.trim line) with
   | [ name; sender; hex ] -> begin
-    match List.find_opt (fun (f : Abi.func) -> f.Abi.name = name) abi with
-    | None -> raise (Corrupt (Printf.sprintf "unknown function %s" name))
-    | Some fn ->
-      let sender =
-        match int_of_string_opt sender with
-        | Some s when s >= 0 -> s
-        | _ -> raise (Corrupt ("bad sender in: " ^ line))
-      in
-      let stream =
-        try Util.Hex.decode hex
-        with Invalid_argument m -> raise (Corrupt (m ^ " in: " ^ line))
-      in
-      { Seed.fn; sender; stream }
+    let sender =
+      match int_of_string_opt sender with
+      | Some s when s >= 0 -> s
+      | _ -> raise (Corrupt ("bad sender in: " ^ line))
+    in
+    try tx_of_parts ~abi ~name ~sender ~hex
+    with Corrupt m -> raise (Corrupt (m ^ " in: " ^ line))
   end
   | [ name; sender ] -> tx_of_line ~abi (name ^ " " ^ sender ^ " ")
   | _ -> raise (Corrupt ("malformed line: " ^ line))

@@ -22,11 +22,13 @@ type t = {
   covered : (int * bool) list;
   total_branch_sides : int;
   findings : Oracles.Oracle.finding list;
+  occurrences : (Oracles.Oracle.key * int) list;
   witnesses : (Oracles.Oracle.finding * string) list;
   witness_seeds : (Oracles.Oracle.finding * Seed.t) list;
   over_time : checkpoint list;
   seeds_in_queue : int;
   corpus : Seed.t list;
+  corpus_skipped : (int * string) list;
   wall_seconds : float;
   parallel : parallel_stats option;
 }
@@ -78,6 +80,18 @@ let to_text t =
         n
         (Oracles.Oracle.class_description cls))
     (findings_by_class t);
+  if t.occurrences <> [] then begin
+    pf "\nunique findings (class@pc/call-path, occurrence count)\n";
+    pf "------------------------------------------------------\n";
+    List.iter
+      (fun (k, n) ->
+        pf "  %-28s %6d\n" (Oracles.Oracle.key_to_string k) n)
+      t.occurrences
+  end;
+  if t.corpus_skipped <> [] then begin
+    pf "\ncorpus blocks skipped as corrupt\n";
+    List.iter (fun (i, reason) -> pf "  block %d: %s\n" i reason) t.corpus_skipped
+  end;
   if t.witnesses <> [] then begin
     pf "\nwitnesses\n---------\n";
     List.iter
@@ -166,6 +180,18 @@ let to_json t =
                J.Obj [ ("pc", J.Int pc); ("taken", J.Bool taken) ])
              t.covered) );
       ("findings", J.List (List.map finding_json t.findings));
+      ( "unique_findings",
+        J.List
+          (List.map
+             (fun ((k : Oracles.Oracle.key), count) ->
+               J.Obj
+                 [
+                   ("class", J.String (Oracles.Oracle.class_to_string k.k_cls));
+                   ("pc", J.Int k.k_pc);
+                   ("path_hash", J.String k.k_path);
+                   ("count", J.Int count);
+                 ])
+             t.occurrences) );
       ( "witnesses",
         J.List
           (List.map
@@ -184,6 +210,12 @@ let to_json t =
                J.Obj [ ("execs", J.Int cp.execs); ("covered", J.Int cp.covered) ])
              t.over_time) );
       ("seeds_in_queue", J.Int t.seeds_in_queue);
+      ( "skipped",
+        J.List
+          (List.map
+             (fun (i, reason) ->
+               J.Obj [ ("block", J.Int i); ("reason", J.String reason) ])
+             t.corpus_skipped) );
       ( "parallel",
         match t.parallel with None -> J.Null | Some p -> parallel_json p );
     ]

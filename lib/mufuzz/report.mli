@@ -25,6 +25,11 @@ type t = {
   covered : (int * bool) list;  (** the exercised branch sides themselves *)
   total_branch_sides : int;  (** 2 x number of JUMPIs in the bytecode *)
   findings : Oracles.Oracle.finding list;  (** deduplicated *)
+  occurrences : (Oracles.Oracle.key * int) list;
+      (** triage view: every alarm occurrence grouped under its
+          (class, pc, call-path hash) dedup key, sorted by key — a long
+          campaign raises the same finding hundreds of times; this is
+          where the duplicates go *)
   witnesses : (Oracles.Oracle.finding * string) list;
       (** finding paired with the rendering of the seed that exposed it *)
   witness_seeds : (Oracles.Oracle.finding * Seed.t) list;
@@ -32,6 +37,9 @@ type t = {
   over_time : checkpoint list;  (** coverage growth, in execution order *)
   seeds_in_queue : int;
   corpus : Seed.t list;  (** the final seed queue, for saving/resuming *)
+  corpus_skipped : (int * string) list;
+      (** corrupt blocks the corpus loader skipped ([(block, reason)]);
+          surfaces in [to_json] as the ["skipped"] field *)
   wall_seconds : float;
   parallel : parallel_stats option;
       (** per-domain throughput, [None] for sequential campaigns *)

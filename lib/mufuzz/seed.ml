@@ -99,6 +99,12 @@ let of_sequence ?(dict = [||]) rng ~n_senders abi names =
 
 let with_tx t i tx = { txs = List.mapi (fun j old -> if j = i then tx else old) t.txs }
 
+let call_path t ~upto =
+  if upto < 0 then []
+  else
+    List.filteri (fun i _ -> i <= upto) t.txs
+    |> List.map (fun tx -> tx.fn.Abi.name)
+
 let pp fmt t =
   Format.fprintf fmt "[%s]"
     (String.concat " -> "

@@ -43,5 +43,11 @@ val of_sequence :
 val with_tx : t -> int -> tx -> t
 (** Replace the [i]-th transaction. *)
 
+val call_path : t -> upto:int -> string list
+(** Function names of transactions [0 .. upto] inclusive — the call
+    path under which the triage layer hashes a finding raised at
+    transaction [upto]. Empty for [upto < 0] (whole-contract
+    findings). *)
+
 val pp : Format.formatter -> t -> unit
 val show : t -> string

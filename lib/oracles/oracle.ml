@@ -10,6 +10,9 @@ let class_to_string = function
   | BD -> "BD" | UD -> "UD" | EF -> "EF" | IO -> "IO" | RE -> "RE"
   | US -> "US" | SE -> "SE" | TO -> "TO" | UE -> "UE"
 
+let class_of_string s =
+  List.find_opt (fun c -> class_to_string c = s) all_classes
+
 let class_description = function
   | BD -> "block dependency (timestamp/number influences a decision)"
   | UD -> "unprotected delegatecall"
@@ -130,6 +133,28 @@ let inspect_campaign ~static ~received_value executions =
     else []
   in
   per_tx @ ef
+
+(* ---------------- triage dedup keys ----------------
+
+   A campaign raises the same alarm hundreds of times; triage groups
+   occurrences under (oracle class, program counter, call-path hash).
+   The call path is the function-name sequence of the witnessing
+   transaction prefix — two alarms at the same pc reached through
+   different call sequences are distinct bugs for triage purposes
+   (ConFuzzius-style location dedup, refined by path). *)
+
+type key = { k_cls : bug_class; k_pc : int; k_path : string }
+
+let path_hash call_path =
+  String.sub (Crypto.Keccak.hash_hex (String.concat "/" call_path)) 0 16
+
+let key_of ~call_path (f : finding) =
+  { k_cls = f.cls; k_pc = f.pc; k_path = path_hash call_path }
+
+let key_to_string k =
+  Printf.sprintf "%s@%d/%s" (class_to_string k.k_cls) k.k_pc k.k_path
+
+let compare_key (a : key) (b : key) = compare a b
 
 let dedup findings =
   let seen = Hashtbl.create 16 in

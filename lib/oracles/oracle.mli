@@ -9,6 +9,7 @@ type bug_class = BD | UD | EF | IO | RE | US | SE | TO | UE
 
 val all_classes : bug_class list
 val class_to_string : bug_class -> string
+val class_of_string : string -> bug_class option
 val class_description : bug_class -> string
 
 type finding = {
@@ -47,3 +48,28 @@ val inspect_campaign :
 
 val dedup : finding list -> finding list
 (** Keep one finding per (class, pc), preferring the earliest witness. *)
+
+(** {1 Triage dedup keys}
+
+    The identity under which the triage layer groups duplicate alarms:
+    oracle class, program counter, and a hash of the call path (the
+    function-name sequence of the witnessing transaction prefix). *)
+
+type key = {
+  k_cls : bug_class;
+  k_pc : int;
+  k_path : string;  (** 16 hex chars of the Keccak-256 of the call path *)
+}
+
+val path_hash : string list -> string
+(** [path_hash names] hashes a ["/"]-joined call path to 16 lowercase
+    hex characters. The empty path hashes to a well-defined constant
+    (whole-contract findings such as EF use it). *)
+
+val key_of : call_path:string list -> finding -> key
+
+val key_to_string : key -> string
+(** ["CLS@pc/pathhash"] — stable, used in artifact file names and
+    reports. *)
+
+val compare_key : key -> key -> int

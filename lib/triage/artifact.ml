@@ -1,0 +1,189 @@
+(* Deterministic repro artifacts: one finding, frozen as a versioned
+   JSON document that replays without the campaign that produced it.
+
+   The artifact embeds the full Minisol source (so a checked-in corpus
+   is self-contained) plus its Keccak-256, which [of_json] re-verifies —
+   an artifact whose source was edited without re-shrinking is rejected
+   rather than silently replayed against a different program. *)
+
+module J = Telemetry.Json
+
+let format_tag = "mufuzz-repro"
+
+let current_version = 1
+
+type t = {
+  contract : Minisol.Contract.t;
+  finding : Oracles.Oracle.finding;
+  path_hash : string;
+  gas_per_tx : int;
+  n_senders : int;
+  attacker : bool;
+  seed : Mufuzz.Seed.t;
+}
+
+let source_hash (c : Minisol.Contract.t) = Crypto.Keccak.hash_hex c.source
+
+let key t =
+  {
+    Oracles.Oracle.k_cls = t.finding.cls;
+    k_pc = t.finding.pc;
+    k_path = t.path_hash;
+  }
+
+let make ~contract ~gas_per_tx ~n_senders ~attacker
+    ~(finding : Oracles.Oracle.finding) ~seed =
+  {
+    contract;
+    finding;
+    path_hash =
+      Oracles.Oracle.path_hash
+        (Mufuzz.Seed.call_path seed ~upto:finding.tx_index);
+    gas_per_tx;
+    n_senders;
+    attacker;
+    seed;
+  }
+
+let file_name t =
+  Printf.sprintf "%s_%s_%d_%s.json" t.contract.name
+    (Oracles.Oracle.class_to_string t.finding.cls)
+    t.finding.pc t.path_hash
+
+(* Field order is fixed here; [J.to_string] preserves it, so equal
+   artifacts render byte-identically (the repro determinism contract). *)
+let to_json t =
+  J.Obj
+    [
+      ("format", J.String format_tag);
+      ("version", J.Int current_version);
+      ("contract", J.String t.contract.name);
+      ("source_hash", J.String (source_hash t.contract));
+      ("oracle", J.String (Oracles.Oracle.class_to_string t.finding.cls));
+      ("pc", J.Int t.finding.pc);
+      ("tx_index", J.Int t.finding.tx_index);
+      ("detail", J.String t.finding.detail);
+      ("path_hash", J.String t.path_hash);
+      ("gas_per_tx", J.Int t.gas_per_tx);
+      ("n_senders", J.Int t.n_senders);
+      ("attacker", J.Bool t.attacker);
+      ( "txs",
+        J.List
+          (List.map
+             (fun (tx : Mufuzz.Seed.tx) ->
+               J.Obj
+                 [
+                   ("fn", J.String tx.fn.Abi.name);
+                   ("sender", J.Int tx.sender);
+                   ("stream", J.String (Util.Hex.encode tx.stream));
+                 ])
+             t.seed.txs) );
+      ("source", J.String t.contract.source);
+    ]
+
+let to_string t = J.to_string (to_json t)
+
+let ( let* ) = Result.bind
+
+let field name conv json =
+  match Option.bind (J.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let of_json json =
+  let* fmt = field "format" J.string_value json in
+  let* () =
+    if fmt = format_tag then Ok ()
+    else Error (Printf.sprintf "not a %s document (format=%S)" format_tag fmt)
+  in
+  let* version = field "version" J.to_int json in
+  let* () =
+    if version >= 1 && version <= current_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "artifact version %d not supported (max %d)" version
+           current_version)
+  in
+  let* name = field "contract" J.string_value json in
+  let* src_hash = field "source_hash" J.string_value json in
+  let* source = field "source" J.string_value json in
+  let* () =
+    let actual = Crypto.Keccak.hash_hex source in
+    if actual = src_hash then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "embedded source hash mismatch: recorded %s, actual %s (source \
+            edited without re-shrinking?)"
+           src_hash actual)
+  in
+  let* contract =
+    match Minisol.Contract.compile source with
+    | c -> Ok c
+    | exception _ -> Error "embedded source does not compile"
+  in
+  let* () =
+    if contract.name = name then Ok ()
+    else
+      Error
+        (Printf.sprintf "contract name mismatch: artifact says %S, source \
+                         declares %S" name contract.name)
+  in
+  let* cls_s = field "oracle" J.string_value json in
+  let* cls =
+    match Oracles.Oracle.class_of_string cls_s with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "unknown oracle class %S" cls_s)
+  in
+  let* pc = field "pc" J.to_int json in
+  let* tx_index = field "tx_index" J.to_int json in
+  let* detail = field "detail" J.string_value json in
+  let* path_hash = field "path_hash" J.string_value json in
+  let* gas_per_tx = field "gas_per_tx" J.to_int json in
+  let* n_senders = field "n_senders" J.to_int json in
+  let* attacker = field "attacker" J.to_bool json in
+  let* txs_json = field "txs" J.to_list json in
+  let* txs =
+    List.fold_left
+      (fun acc tx_json ->
+        let* acc = acc in
+        let* fn = field "fn" J.string_value tx_json in
+        let* sender = field "sender" J.to_int tx_json in
+        let* hex = field "stream" J.string_value tx_json in
+        match
+          Mufuzz.Replay.tx_of_parts ~abi:contract.abi ~name:fn ~sender ~hex
+        with
+        | tx -> Ok (tx :: acc)
+        | exception Mufuzz.Replay.Corrupt m -> Error ("bad tx: " ^ m))
+      (Ok []) txs_json
+  in
+  let seed = { Mufuzz.Seed.txs = List.rev txs } in
+  Ok
+    {
+      contract;
+      finding = { Oracles.Oracle.cls; pc; tx_index; detail };
+      path_hash;
+      gas_per_tx;
+      n_senders;
+      attacker;
+      seed;
+    }
+
+let of_string s =
+  let* json = J.of_string s in
+  of_json json
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    of_string (String.trim content)

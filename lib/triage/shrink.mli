@@ -1,0 +1,47 @@
+(** Delta-debugging witness shrinker (the triage layer's minimiser).
+
+    Two deterministic passes run to a fixpoint: ddmin-style chunk
+    removal over the transaction list (order-preserving, constructor
+    pinned), then per-transaction stream reduction (32-byte words, then
+    single bytes, zeroed). Every committed step re-executes the
+    candidate and keeps it only if the same (oracle class, pc) still
+    fires — the shrinker is oracle-preserving by construction, and
+    idempotent because a second run finds no committable step. *)
+
+type target = {
+  contract : Minisol.Contract.t;
+  gas : int;
+  n_senders : int;
+  attacker : bool;
+}
+(** The execution environment a finding must be reproduced under. *)
+
+val target_of_config : Mufuzz.Config.t -> Minisol.Contract.t -> target
+
+type result = {
+  seed : Mufuzz.Seed.t;
+  execs : int;  (** executions the shrink spent (including the final check) *)
+  reproduced : bool;  (** the input seed raised the finding at all *)
+}
+
+val shrink :
+  target:target ->
+  ?max_execs:int ->
+  Oracles.Oracle.finding ->
+  Mufuzz.Seed.t ->
+  result
+(** [shrink ~target finding seed] minimises [seed] while the finding's
+    (class, pc) keeps firing. If [seed] does not reproduce the finding
+    it is returned unchanged with [reproduced = false]. [max_execs]
+    (default 4000) bounds the total re-executions; on exhaustion the
+    best sequence so far is returned (still oracle-preserving). *)
+
+val reraise :
+  target:target ->
+  Oracles.Oracle.finding ->
+  Mufuzz.Seed.t ->
+  Oracles.Oracle.finding option
+(** The finding as actually raised by [seed]: same (class, pc) as the
+    input finding, but with the tx_index/detail the (possibly shorter)
+    sequence produces — what an artifact should record after
+    shrinking. *)

@@ -29,6 +29,32 @@ let vectors =
         (* example from the Solidity ABI specification *)
         Alcotest.(check string) "selector" "cdcd77c0"
           (Util.Hex.encode (Crypto.Keccak.selector "baz(uint32,bool)")));
+    unit "quick brown fox" (fun () ->
+        check_hex "The quick brown fox jumps over the lazy dog"
+          "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15");
+    unit "quick brown fox, trailing period" (fun () ->
+        (* one-character change, completely different digest *)
+        check_hex "The quick brown fox jumps over the lazy dog."
+          "578951e24efd62a3d63a86f7cd19aaa53c898fe287d2552133220370240b572d");
+    unit "'hello world'" (fun () ->
+        check_hex "hello world"
+          "47173285a8d7341e5e972fc677286384f802f8ef42a5ec5f03bbfa254cb01fad");
+    unit "ERC-20 selector suite" (fun () ->
+        List.iter
+          (fun (signature, expect) ->
+            Alcotest.(check string) signature expect
+              (Util.Hex.encode (Crypto.Keccak.selector signature)))
+          [
+            ("balanceOf(address)", "70a08231");
+            ("approve(address,uint256)", "095ea7b3");
+            ("transferFrom(address,address,uint256)", "23b872dd");
+            ("totalSupply()", "18160ddd");
+            ("allowance(address,address)", "dd62ed3e");
+          ]);
+    unit "Transfer event topic" (fun () ->
+        (* full 32-byte event topic, not just the 4-byte selector *)
+        check_hex "Transfer(address,address,uint256)"
+          "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef");
     unit "hash_word matches big-endian digest" (fun () ->
         Alcotest.(check string) "word"
           (Crypto.Keccak.hash_hex "xyz")

@@ -405,11 +405,13 @@ let report_tests =
                 covered = [];
                 total_branch_sides = 2 * n;
                 findings = [];
+                occurrences = [];
                 witnesses = [];
                 witness_seeds = [];
                 over_time;
                 seeds_in_queue = 0;
                 corpus = [];
+                corpus_skipped = [];
                 wall_seconds = 0.0;
                 parallel = None;
               }

@@ -213,6 +213,124 @@ let bitwise =
           && U.ge a (U.shift_left U.one (n - 1)));
   ]
 
+(* ---------------- reference model ----------------
+
+   An independent schoolbook bignum over 16 limbs of 16 bits (so every
+   intermediate product and carry fits a native int with room to
+   spare). Words cross into the model only through [to_bytes_be], so a
+   bug in U256's add/sub/mul/compare cannot hide inside the model. *)
+module Model = struct
+  let limbs = 16
+  let base = 1 lsl 16
+
+  (* limb 0 = least significant 16 bits *)
+  let of_u256 u =
+    let b = U.to_bytes_be u in
+    Array.init limbs (fun i ->
+        let off = 32 - (2 * (i + 1)) in
+        (Char.code b.[off] lsl 8) lor Char.code b.[off + 1])
+
+  let to_u256 m =
+    let b = Bytes.create 32 in
+    for i = 0 to limbs - 1 do
+      let off = 32 - (2 * (i + 1)) in
+      Bytes.set b off (Char.chr ((m.(i) lsr 8) land 0xff));
+      Bytes.set b (off + 1) (Char.chr (m.(i) land 0xff))
+    done;
+    U.of_bytes_be (Bytes.to_string b)
+
+  let add a b =
+    let r = Array.make limbs 0 in
+    let carry = ref 0 in
+    for i = 0 to limbs - 1 do
+      let s = a.(i) + b.(i) + !carry in
+      r.(i) <- s mod base;
+      carry := s / base
+    done;
+    (* mod 2^256: the final carry is dropped *)
+    r
+
+  let sub a b =
+    let r = Array.make limbs 0 in
+    let borrow = ref 0 in
+    for i = 0 to limbs - 1 do
+      let d = a.(i) - b.(i) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    r
+
+  let mul a b =
+    let wide = Array.make (2 * limbs) 0 in
+    for i = 0 to limbs - 1 do
+      let carry = ref 0 in
+      for j = 0 to limbs - 1 do
+        let t = wide.(i + j) + (a.(i) * b.(j)) + !carry in
+        wide.(i + j) <- t mod base;
+        carry := t / base
+      done;
+      wide.(i + limbs) <- wide.(i + limbs) + !carry
+    done;
+    (* mod 2^256: keep the low 16 limbs *)
+    Array.sub wide 0 limbs
+
+  let compare a b =
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (limbs - 1)
+end
+
+let model =
+  let binop name model_op u_op =
+    prop2 (name ^ " matches the limb model") (fun (a, b) ->
+        U.equal (u_op a b)
+          (Model.to_u256 (model_op (Model.of_u256 a) (Model.of_u256 b))))
+  in
+  [
+    binop "add" Model.add U.add;
+    binop "sub" Model.sub U.sub;
+    binop "mul" Model.mul U.mul;
+    prop2 "compare matches the limb model" (fun (a, b) ->
+        U.compare a b = Model.compare (Model.of_u256 a) (Model.of_u256 b));
+    prop1 "neg matches model 0 - a" (fun a ->
+        U.equal (U.neg a)
+          (Model.to_u256 (Model.sub (Model.of_u256 U.zero) (Model.of_u256 a))));
+    prop1 "limb model round-trips" (fun a ->
+        U.equal a (Model.to_u256 (Model.of_u256 a)));
+    (* signed division against the (model-validated) ring ops: for b<>0,
+       a = b * sdiv(a,b) + srem(a,b) mod 2^256, the remainder takes the
+       dividend's sign, and |r| < |b|. Covers min_int / -1 too, where
+       r = 0 and the identity still holds because b*q wraps back. *)
+    prop2 "sdiv/srem division identity" (fun (a, b) ->
+        U.is_zero b
+        || U.equal a (U.add (U.mul b (U.sdiv a b)) (U.srem a b)));
+    prop2 "srem sign and magnitude" (fun (a, b) ->
+        if U.is_zero b then true
+        else
+          let r = U.srem a b in
+          let abs x = if U.is_neg x then U.neg x else x in
+          (U.is_zero r || U.is_neg r = U.is_neg a) && U.lt (abs r) (abs b));
+    prop2 "unsigned divmod identity (model mul)" (fun (a, b) ->
+        U.is_zero b
+        ||
+        let q, r = U.divmod a b in
+        U.equal a
+          (Model.to_u256
+             (Model.add
+                (Model.mul (Model.of_u256 q) (Model.of_u256 b))
+                (Model.of_u256 r)))
+        && U.lt r b);
+  ]
+
 let misc =
   [
     prop2 "to_float monotone-ish" (fun (a, b) ->
@@ -230,5 +348,6 @@ let suite =
     ("u256: division", division);
     ("u256: comparison", comparison);
     ("u256: bitwise", bitwise);
+    ("u256: model", model);
     ("u256: misc", misc);
   ]
