@@ -6,7 +6,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|fig5|fig6|table3|fig7|table4|case_study|cache|throughput|micro|parallel|all] [--scale S] [--jobs N]";
+    "usage: main.exe [table1|table2|fig5|fig6|table3|fig7|table4|case_study|cache|throughput|micro|interp|parallel|all] [--scale S] [--jobs N]";
   exit 1
 
 let () =
@@ -43,6 +43,7 @@ let () =
     | "table4" -> Realworld_exp.run ()
     | "case_study" -> Case_study.run ()
     | "micro" -> Micro.run ()
+    | "interp" -> Micro.interp ()
     | "parallel" -> Micro.parallel ()
     | "cache" -> Cache_exp.run ()
     | "throughput" -> Throughput_exp.run ()

@@ -104,6 +104,195 @@ let parallel () =
   in
   Exp.write_file "BENCH_parallel.json" json
 
+(* ---------------- interpreter hot-loop benchmark ----------------
+
+   A fixed, deterministic seed workload per example contract, executed
+   with no state cache so every transaction runs the interpreter end to
+   end. The workload (contract set, RNG seed, seed count, execution
+   budget) is frozen: any change invalidates comparisons against
+   recorded baselines. Results go to bench_results/BENCH_interp.json;
+   if bench_results/BENCH_interp_baseline.json exists (a recorded
+   pre-optimisation run of the SAME workload on the same host), the
+   report includes per-contract and total speedups against it. *)
+
+let interp_contracts =
+  [ ("crowdsale", Corpus.Examples.crowdsale);
+    ("guess_number", Corpus.Examples.guess_number);
+    ("simple_dao", Corpus.Examples.simple_dao);
+    ("token_overflow", Corpus.Examples.token_overflow) ]
+
+let interp_seeds_per_contract = 32
+
+let interp_execs () = Exp.scaled 3000
+
+(* steps executed by one run: the interpreter counts every opcode it
+   dispatches, including the one that halts the frame *)
+let steps_of_run (r : Mufuzz.Executor.run) =
+  List.fold_left
+    (fun acc (t : Mufuzz.Executor.tx_result) -> acc + t.trace.Evm.Trace.steps)
+    0 r.tx_results
+
+let interp_workload source =
+  let c = Minisol.Contract.compile source in
+  let gas = Mufuzz.Config.default.gas_per_tx in
+  let n_senders = Mufuzz.Config.default.n_senders in
+  let attacker = Mufuzz.Config.default.attacker_enabled in
+  let rng = Util.Rng.create 42L in
+  let seeds =
+    Array.init interp_seeds_per_contract (fun _ ->
+        Mufuzz.Seed.of_sequence rng ~n_senders c.abi
+          ("constructor" :: Mufuzz.Campaign.derive_sequence c))
+  in
+  let execs = interp_execs () in
+  let run_one i =
+    Mufuzz.Executor.run_seed ~contract:c ~gas ~n_senders ~attacker
+      seeds.(i mod Array.length seeds)
+  in
+  (* warm-up: fault in code paths and the contract artifact *)
+  ignore (run_one 0);
+  let txs = ref 0 and steps = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to execs - 1 do
+    let r = run_one i in
+    txs := !txs + List.length r.tx_results;
+    steps := !steps + steps_of_run r
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  (execs, !txs, !steps, wall)
+
+(* minimal parsing of the recorded baseline: we only need
+   (name, wall_seconds) pairs, and we wrote the file ourselves *)
+let read_baseline path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let find_wall name =
+      (* locate "name": "<name>" then the following "wall_seconds": X *)
+      let needle = Printf.sprintf "\"name\": \"%s\"" name in
+      match String.index_opt s '\000' with
+      | Some _ -> None
+      | None -> (
+        let rec find_from i =
+          if i + String.length needle > String.length s then None
+          else if String.sub s i (String.length needle) = needle then Some i
+          else find_from (i + 1)
+        in
+        match find_from 0 with
+        | None -> None
+        | Some i -> (
+          let key = "\"wall_seconds\": " in
+          let rec find_key j =
+            if j + String.length key > String.length s then None
+            else if String.sub s j (String.length key) = key then
+              Some (j + String.length key)
+            else find_key (j + 1)
+          in
+          match find_key i with
+          | None -> None
+          | Some j ->
+            let k = ref j in
+            while
+              !k < String.length s
+              && (match s.[!k] with '0' .. '9' | '.' | '-' | 'e' -> true | _ -> false)
+            do
+              incr k
+            done;
+            float_of_string_opt (String.sub s j (!k - j))))
+    in
+    Some find_wall
+  end
+
+let interp () =
+  Exp.section "Interpreter hot-loop benchmark (fixed seed workload)";
+  let baseline =
+    read_baseline (Filename.concat Exp.results_dir "BENCH_interp_baseline.json")
+  in
+  let rows =
+    List.map
+      (fun (name, source) ->
+        let execs, txs, steps, wall = interp_workload source in
+        let sps = float_of_int steps /. wall in
+        Printf.printf "  %-16s %6d execs %7d txs %9d steps  %6.2fs  %12.0f steps/sec\n%!"
+          name execs txs steps wall sps;
+        (name, execs, txs, steps, wall))
+      interp_contracts
+  in
+  let tot_execs = List.fold_left (fun a (_, e, _, _, _) -> a + e) 0 rows in
+  let tot_txs = List.fold_left (fun a (_, _, t, _, _) -> a + t) 0 rows in
+  let tot_steps = List.fold_left (fun a (_, _, _, st, _) -> a + st) 0 rows in
+  let tot_wall = List.fold_left (fun a (_, _, _, _, w) -> a +. w) 0.0 rows in
+  let baseline_wall name =
+    match baseline with None -> None | Some f -> f name
+  in
+  let contract_json (name, execs, txs, steps, wall) =
+    let base =
+      Printf.sprintf
+        "    { \"name\": \"%s\", \"execs\": %d, \"txs\": %d, \"steps\": %d, \
+         \"wall_seconds\": %.4f, \"steps_per_sec\": %.0f, \"txs_per_sec\": %.0f"
+        name execs txs steps wall
+        (float_of_int steps /. wall)
+        (float_of_int txs /. wall)
+    in
+    match baseline_wall name with
+    | Some bw when bw > 0.0 ->
+      (* the workload is deterministic, so the baseline executed the
+         same steps: baseline steps/sec = steps / baseline wall *)
+      base
+      ^ Printf.sprintf
+          ", \"baseline_wall_seconds\": %.4f, \"baseline_steps_per_sec\": %.0f, \
+           \"speedup\": %.2f }"
+          bw
+          (float_of_int steps /. bw)
+          (bw /. wall)
+    | _ -> base ^ " }"
+  in
+  let total_json =
+    let base =
+      Printf.sprintf
+        "  \"total\": { \"execs\": %d, \"txs\": %d, \"steps\": %d, \
+         \"wall_seconds\": %.4f, \"steps_per_sec\": %.0f"
+        tot_execs tot_txs tot_steps tot_wall
+        (float_of_int tot_steps /. tot_wall)
+    in
+    let tot_base =
+      List.fold_left
+        (fun acc (name, _, _, _, _) ->
+          match (acc, baseline_wall name) with
+          | Some a, Some w -> Some (a +. w)
+          | _ -> None)
+        (Some 0.0) rows
+    in
+    match tot_base with
+    | Some bw when bw > 0.0 ->
+      base
+      ^ Printf.sprintf
+          ", \"baseline_wall_seconds\": %.4f, \"baseline_steps_per_sec\": %.0f, \
+           \"speedup\": %.2f }"
+          bw
+          (float_of_int tot_steps /. bw)
+          (bw /. tot_wall)
+    | _ -> base ^ " }"
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"EVM interpreter hot loop: %d seed executions per \
+       contract, no state cache, seed 42\",\n\
+      \  \"note\": \"steps = opcodes dispatched; baseline fields compare \
+       against bench_results/BENCH_interp_baseline.json (pre-optimisation \
+       run of the identical workload) when present\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"contracts\": [\n%s\n  ],\n%s\n}\n"
+      (interp_execs ())
+      (Domain.recommended_domain_count ())
+      (String.concat ",\n" (List.map contract_json rows))
+      total_json
+  in
+  Exp.write_file "BENCH_interp.json" json
+
 let run () =
   Exp.section "Micro-benchmarks (bechamel, ns per run)";
   let ols =

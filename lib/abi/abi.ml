@@ -28,7 +28,22 @@ let signature f =
   Printf.sprintf "%s(%s)" f.name
     (String.concat "," (List.map ty_to_string f.inputs))
 
-let selector f = Crypto.Keccak.selector (signature f)
+(* Selectors are requested for every transaction the executor encodes,
+   so memoize per domain (lock-free under the parallel campaign
+   runner). Keyed by the signature string, which fully determines the
+   selector. *)
+let selector_memo : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let selector f =
+  let sg = signature f in
+  let memo = Domain.DLS.get selector_memo in
+  match Hashtbl.find_opt memo sg with
+  | Some s -> s
+  | None ->
+    let s = Crypto.Keccak.selector sg in
+    Hashtbl.add memo sg s;
+    s
 
 let address_mask =
   U.sub (U.shift_left U.one 160) U.one

@@ -1,5 +1,12 @@
 (* Keccak-f[1600] permutation and the Keccak-256 sponge (rate 1088 bits,
-   capacity 512, multi-rate padding 0x01 .. 0x80). *)
+   capacity 512, multi-rate padding 0x01 .. 0x80).
+
+   Lanes are stored as two 32-bit halves in flat [int] arrays rather
+   than as [int64 array]: OCaml boxes every int64 an array yields or
+   stores, so an int64-based permutation allocates thousands of blocks
+   per call and runs an order of magnitude slower than this tagged-int
+   version, which allocates nothing inside the round loop. Lane [i]
+   lives at indices [2*i] (low half) and [2*i + 1] (high half). *)
 
 let round_constants =
   [| 0x0000000000000001L; 0x0000000000008082L; 0x800000000000808AL;
@@ -11,6 +18,14 @@ let round_constants =
      0x000000000000800AL; 0x800000008000000AL; 0x8000000080008081L;
      0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L |]
 
+let rc_lo =
+  Array.map (fun c -> Int64.to_int (Int64.logand c 0xFFFFFFFFL)) round_constants
+
+let rc_hi =
+  Array.map
+    (fun c -> Int64.to_int (Int64.logand (Int64.shift_right_logical c 32) 0xFFFFFFFFL))
+    round_constants
+
 (* rotation offsets, indexed [x + 5*y] *)
 let rotation_offsets =
   [| 0; 1; 62; 28; 27;
@@ -19,55 +34,94 @@ let rotation_offsets =
      41; 45; 15; 21; 8;
      18; 2; 61; 56; 14 |]
 
-let rotl64 x n =
-  if n = 0 then x
-  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+let mask32 = 0xFFFFFFFF
 
-let keccak_f state =
-  let b = Array.make 25 0L in
-  let c = Array.make 5 0L in
-  let d = Array.make 5 0L in
+(* Index tables, precomputed so the round loop does no integer division
+   ([mod 5] everywhere would otherwise dominate the permutation). *)
+
+(* theta: lane i is xored with column d.(i mod 5) *)
+let theta_d = Array.init 25 (fun i -> 2 * (i mod 5))
+
+(* rho/pi: lane [src = x + 5y] moves to [dst = y + 5*((2x + 3y) mod 5)] *)
+let pi_dst =
+  Array.init 25 (fun src ->
+      let x = src mod 5 and y = src / 5 in
+      y + (5 * (((2 * x) + (3 * y)) mod 5)))
+
+(* chi: lane i combines with lanes at x+1 and x+2 in the same row *)
+let chi_j =
+  Array.init 25 (fun i ->
+      let x = i mod 5 and y = i / 5 in
+      2 * (((x + 1) mod 5) + (5 * y)))
+
+let chi_k =
+  Array.init 25 (fun i ->
+      let x = i mod 5 and y = i / 5 in
+      2 * (((x + 2) mod 5) + (5 * y)))
+
+(* Halves of [rotl64 (hi, lo) n]. Shifts by 32 are well-defined on
+   OCaml's 63-bit ints, so the [n < 32] branch also covers [n = 0]. *)
+let rot_hi hi lo n =
+  if n < 32 then ((hi lsl n) lor (lo lsr (32 - n))) land mask32
+  else ((lo lsl (n - 32)) lor (hi lsr (64 - n))) land mask32
+
+let rot_lo hi lo n =
+  if n < 32 then ((lo lsl n) lor (hi lsr (32 - n))) land mask32
+  else ((hi lsl (n - 32)) lor (lo lsr (64 - n))) land mask32
+
+(* [state], [b] have 50 slots (25 lanes x 2 halves); [c], [d] have 10. *)
+let keccak_f state b c d =
   for round = 0 to 23 do
     (* theta *)
     for x = 0 to 4 do
-      c.(x) <-
-        Int64.logxor state.(x)
-          (Int64.logxor state.(x + 5)
-             (Int64.logxor state.(x + 10) (Int64.logxor state.(x + 15) state.(x + 20))))
+      let x2 = 2 * x in
+      c.(x2) <-
+        state.(x2)
+        lxor state.(x2 + 10) lxor state.(x2 + 20) lxor state.(x2 + 30)
+        lxor state.(x2 + 40);
+      c.(x2 + 1) <-
+        state.(x2 + 1)
+        lxor state.(x2 + 11) lxor state.(x2 + 21) lxor state.(x2 + 31)
+        lxor state.(x2 + 41)
     done;
     for x = 0 to 4 do
-      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+      let p = 2 * ((x + 4) mod 5) and q = 2 * ((x + 1) mod 5) in
+      let qlo = c.(q) and qhi = c.(q + 1) in
+      d.(2 * x) <- c.(p) lxor rot_lo qhi qlo 1;
+      d.((2 * x) + 1) <- c.(p + 1) lxor rot_hi qhi qlo 1
     done;
     for i = 0 to 24 do
-      state.(i) <- Int64.logxor state.(i) d.(i mod 5)
+      let m = theta_d.(i) in
+      state.(2 * i) <- state.(2 * i) lxor d.(m);
+      state.((2 * i) + 1) <- state.((2 * i) + 1) lxor d.(m + 1)
     done;
     (* rho and pi *)
-    for x = 0 to 4 do
-      for y = 0 to 4 do
-        let src = x + (5 * y) in
-        let dst = y + (5 * (((2 * x) + (3 * y)) mod 5)) in
-        b.(dst) <- rotl64 state.(src) rotation_offsets.(src)
-      done
+    for src = 0 to 24 do
+      let dst = pi_dst.(src) in
+      let n = rotation_offsets.(src) in
+      let lo = state.(2 * src) and hi = state.((2 * src) + 1) in
+      b.(2 * dst) <- rot_lo hi lo n;
+      b.((2 * dst) + 1) <- rot_hi hi lo n
     done;
     (* chi *)
-    for x = 0 to 4 do
-      for y = 0 to 4 do
-        let i = x + (5 * y) in
-        state.(i) <-
-          Int64.logxor b.(i)
-            (Int64.logand
-               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
-               b.(((x + 2) mod 5) + (5 * y)))
-      done
+    for i = 0 to 24 do
+      let j = chi_j.(i) and k = chi_k.(i) in
+      state.(2 * i) <- b.(2 * i) lxor (lnot b.(j) land mask32 land b.(k));
+      state.((2 * i) + 1) <-
+        b.((2 * i) + 1) lxor (lnot b.(j + 1) land mask32 land b.(k + 1))
     done;
     (* iota *)
-    state.(0) <- Int64.logxor state.(0) round_constants.(round)
+    state.(0) <- state.(0) lxor rc_lo.(round);
+    state.(1) <- state.(1) lxor rc_hi.(round)
   done
 
 let rate_bytes = 136
 
 let hash msg =
-  let state = Array.make 25 0L in
+  let state = Array.make 50 0 in
+  let b = Array.make 50 0 in
+  let c = Array.make 10 0 in
+  let d = Array.make 10 0 in
   let len = String.length msg in
   (* Build padded input: msg ^ 0x01 .. 0x80 to a multiple of the rate. *)
   let padded_len = ((len / rate_bytes) + 1) * rate_bytes in
@@ -76,25 +130,25 @@ let hash msg =
   Bytes.set padded len '\001';
   Bytes.set padded (padded_len - 1)
     (Char.chr (Char.code (Bytes.get padded (padded_len - 1)) lor 0x80));
-  (* Absorb. *)
-  let lane_of_bytes off =
-    let v = ref 0L in
-    for k = 7 downto 0 do
-      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get padded (off + k))))
-    done;
-    !v
+  (* Absorb. Lanes are little-endian; each 32-bit half reads as two
+     unsigned 16-bit loads (plain ints, no boxing). *)
+  let half off =
+    Bytes.get_uint16_le padded off lor (Bytes.get_uint16_le padded (off + 2) lsl 16)
   in
   let nblocks = padded_len / rate_bytes in
   for blk = 0 to nblocks - 1 do
     for lane = 0 to (rate_bytes / 8) - 1 do
-      state.(lane) <- Int64.logxor state.(lane) (lane_of_bytes ((blk * rate_bytes) + (lane * 8)))
+      let off = (blk * rate_bytes) + (lane * 8) in
+      state.(2 * lane) <- state.(2 * lane) lxor half off;
+      state.((2 * lane) + 1) <- state.((2 * lane) + 1) lxor half (off + 4)
     done;
-    keccak_f state
+    keccak_f state b c d
   done;
   (* Squeeze 32 bytes (fits in one block). *)
   String.init 32 (fun i ->
-      let lane = state.(i / 8) in
-      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical lane ((i mod 8) * 8)) 0xFFL)))
+      let pos = i mod 8 in
+      let h = state.((2 * (i / 8)) + (pos / 4)) in
+      Char.chr ((h lsr (8 * (pos mod 4))) land 0xFF))
 
 let hash_hex msg = Util.Hex.encode (hash msg)
 

@@ -24,6 +24,37 @@ let pp fmt code =
 
 let to_listing code = Format.asprintf "%a" pp code
 
+(* Pre-decoded code artifact: everything the interpreter's hot loop needs
+   that is a pure function of the bytecode, computed once per program
+   instead of once per frame. [jumpdests] above builds a hash table on
+   every call — in the original interpreter this happened on every
+   [exec_frame], i.e. on every transaction AND every subcall. The
+   artifact replaces the table with a [bool array] (branch-free indexed
+   load) and caches [byte_size] and the push-constant dictionary. *)
+
+type artifact = {
+  a_code : t;
+  a_jumpdest : bool array;  (* a_jumpdest.(pc) = pc is a valid JUMPDEST *)
+  a_byte_size : int;
+  a_push_constants : Word.U256.t array;
+}
+
+let is_jumpdest art pc = pc >= 0 && pc < Array.length art.a_jumpdest && art.a_jumpdest.(pc)
+
+(* Per-domain memo keyed by physical equality. A fuzzing campaign
+   interprets a handful of distinct programs (the contract under test
+   plus its constructor) millions of times; the deployed code array is
+   shared physically through the state, so [==] is both the cheapest and
+   the correct key (structural equality would conflate distinct programs
+   never, but costs O(n) per lookup). A tiny MRU list suffices: the
+   working set is 1-2 programs per domain. Domain-local storage keeps
+   the memo lock-free under the parallel campaign runner. *)
+
+let memo_capacity = 8
+
+let memo_key : (int ref * artifact option array) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref 0, Array.make memo_capacity None))
+
 let push_constants code =
   let dests = jumpdests code in
   let is_jump_target v =
@@ -41,3 +72,31 @@ let push_constants code =
     code;
   Hashtbl.fold (fun v () acc -> v :: acc) tbl []
   |> List.sort Word.U256.compare
+
+let decode code =
+  let n = Array.length code in
+  let jd = Array.make n false in
+  Array.iteri (fun i op -> if op = Opcode.JUMPDEST then jd.(i) <- true) code;
+  {
+    a_code = code;
+    a_jumpdest = jd;
+    a_byte_size = byte_size code;
+    a_push_constants = Array.of_list (push_constants code);
+  }
+
+let artifact code =
+  let next, slots = Domain.DLS.get memo_key in
+  let rec find i =
+    if i >= memo_capacity then None
+    else
+      match slots.(i) with
+      | Some art when art.a_code == code -> Some art
+      | _ -> find (i + 1)
+  in
+  match find 0 with
+  | Some art -> art
+  | None ->
+    let art = decode code in
+    slots.(!next) <- Some art;
+    next := (!next + 1) mod memo_capacity;
+    art

@@ -23,6 +23,34 @@ val push_constants : t -> Word.U256.t list
     dictionary (the standard Echidna/ConFuzzius trick for strict
     equality conditions). Sorted ascending. *)
 
+(** {1 Pre-decoded artifacts}
+
+    Everything the interpreter's hot loop needs that is a pure function
+    of the bytecode, computed once per program instead of once per
+    frame: the jumpdest table as a [bool array], the canonical byte
+    size, and the push-constant dictionary. *)
+
+type artifact = private {
+  a_code : t;
+  a_jumpdest : bool array;
+  a_byte_size : int;
+  a_push_constants : Word.U256.t array;
+}
+
+val decode : t -> artifact
+(** Pure: computes the artifact from scratch. [a_jumpdest.(pc)] agrees
+    with [jumpdests] membership, [a_byte_size] with [byte_size], and
+    [a_push_constants] with [push_constants] (same order). *)
+
+val artifact : t -> artifact
+(** Memoized [decode], keyed by physical equality on the code array and
+    cached per domain (lock-free under the parallel campaign runner).
+    Equal results to [decode] whenever the code array is not mutated —
+    bytecode arrays are never mutated after construction. *)
+
+val is_jumpdest : artifact -> int -> bool
+(** [is_jumpdest art pc]: O(1), false for out-of-range [pc]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Disassembly listing, one instruction per line with its index. *)
 

@@ -57,6 +57,27 @@ type cell = {
 
 let pure v = { v; taint = T.none; call_site = None; dist = None }
 let with_taint taint v = { v; taint; call_site = None; dist = None }
+let dummy_cell = pure U.zero
+
+(* Operand-stack pool, one 1024-slot array per call depth, reused across
+   transactions. Frames nest strictly (a frame at depth [d] only runs
+   subframes at [d + 1] and is suspended meanwhile), so indexing by depth
+   never aliases two live stacks; domain-local storage keeps the pool
+   safe under the parallel campaign runner. Typical frames run a few
+   dozen instructions, so allocating the array per frame would cost more
+   than the frame itself. *)
+let stack_pool : cell array array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let stack_for_depth depth =
+  let pool = Domain.DLS.get stack_pool in
+  if depth >= Array.length !pool then begin
+    let np = Array.make (depth + 8) [||] in
+    Array.blit !pool 0 np 0 (Array.length !pool);
+    pool := np
+  end;
+  if Array.length !pool.(depth) = 0 then !pool.(depth) <- Array.make 1024 dummy_cell;
+  !pool.(depth)
 
 type halt =
   | H_return of string
@@ -79,6 +100,7 @@ type ctx = {
   gas_limit : int;
   mutable call_counter : int;
   mutable reentry_budget : int;
+  mutable steps : int;
 }
 
 let emit ctx e = ctx.events_rev <- e :: ctx.events_rev
@@ -118,6 +140,13 @@ module Mem = struct
 
   let create () = { buf = Bytes.make 256 '\000'; size = 0; taints = Hashtbl.create 16 }
 
+  (* Reset for reuse: zero the dirty prefix and drop the taints. A
+     reset instance is indistinguishable from a fresh [create ()]. *)
+  let reset m =
+    if m.size > 0 then Bytes.fill m.buf 0 m.size '\000';
+    m.size <- 0;
+    if Hashtbl.length m.taints > 0 then Hashtbl.reset m.taints
+
   let ensure m n =
     if n > Bytes.length m.buf then begin
       let cap = ref (Bytes.length m.buf) in
@@ -132,7 +161,7 @@ module Mem = struct
 
   let store_word ?(taint = Trace.Taint.none) m off w =
     ensure m (off + 32);
-    Bytes.blit_string (U.to_bytes_be w) 0 m.buf off 32;
+    U.blit_be w m.buf off;
     if taint = Trace.Taint.none then Hashtbl.remove m.taints off
     else Hashtbl.replace m.taints off taint
 
@@ -152,7 +181,7 @@ module Mem = struct
 
   let load_word m off =
     ensure m (off + 32);
-    U.of_bytes_be (Bytes.sub_string m.buf off 32)
+    U.read_be m.buf off
 
   let read m off len =
     if len = 0 then ""
@@ -168,6 +197,51 @@ module Mem = struct
     end
 end
 
+(* Frame memories are pooled like the stacks: acquired zeroed at frame
+   entry, so exception exits (every halt) leaving them dirty is fine. *)
+let mem_pool : Mem.t option array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let mem_for_depth depth =
+  let pool = Domain.DLS.get mem_pool in
+  if depth >= Array.length !pool then begin
+    let np = Array.make (depth + 8) None in
+    Array.blit !pool 0 np 0 (Array.length !pool);
+    pool := np
+  end;
+  match !pool.(depth) with
+  | Some m ->
+    Mem.reset m;
+    m
+  | None ->
+    let m = Mem.create () in
+    !pool.(depth) <- Some m;
+    m
+
+(* SHA3 memo. Fuzzing re-executes the same storage-key hashes (mapping
+   slots for a small sender pool) millions of times; Keccak is pure, so
+   memoizing is observationally invisible. Only short inputs are cached
+   (mapping keys are 64 bytes) and the table is dropped wholesale when
+   full — it is a pure-function memo, so eviction only costs a
+   recompute, unlike the prefix-state cache which keeps real state. *)
+let sha3_memo : (string, U.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+let sha3_memo_cap = 8192
+
+let keccak_word data =
+  if String.length data > 128 then Crypto.Keccak.hash_word data
+  else begin
+    let memo = Domain.DLS.get sha3_memo in
+    match Hashtbl.find_opt memo data with
+    | Some w -> w
+    | None ->
+      let w = Crypto.Keccak.hash_word data in
+      if Hashtbl.length memo >= sha3_memo_cap then Hashtbl.reset memo;
+      Hashtbl.add memo data w;
+      w
+  end
+
 let to_offset cell =
   (* Memory offsets / lengths must be small; clamp to protect the host. *)
   match U.to_int_opt cell.v with
@@ -181,23 +255,28 @@ let to_offset cell =
 let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
     (msg : msg) : State.t * (string, halt) result =
   let code = State.code state code_addr in
-  let jumpdests = Bytecode.jumpdests code in
+  let art = Bytecode.artifact code in
   let state_ref = ref state in
-  let stack : cell list ref = ref [] in
-  let mem = Mem.create () in
+  (* Operand stack: fixed 1024-slot array plus a depth counter. EVM caps
+     the stack at 1024, so overflow is [sp >= 1024] checked before the
+     write (the 1025th push halts). Slot [sp - 1] is the top; DUP and
+     SWAP become O(1) indexed loads instead of list walks. Popped slots
+     keep their old cell until overwritten, which is harmless. *)
+  let stack : cell array = stack_for_depth depth in
+  let sp = ref 0 in
+  let mem = mem_for_depth depth in
   let pc = ref 0 in
   let caller_checked = ref false in
   let did_external_call = ref false in
   let push c =
-    if List.length !stack > 1024 then raise (Halted H_stackerr);
-    stack := c :: !stack
+    if !sp >= 1024 then raise (Halted H_stackerr);
+    stack.(!sp) <- c;
+    incr sp
   in
   let pop () =
-    match !stack with
-    | c :: rest ->
-      stack := rest;
-      c
-    | [] -> raise (Halted H_stackerr)
+    if !sp = 0 then raise (Halted H_stackerr);
+    decr sp;
+    stack.(!sp)
   in
   let charge op =
     ctx.gas <- ctx.gas - Opcode.base_gas op;
@@ -315,6 +394,7 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
     let cur_pc = !pc in
     let op = code.(cur_pc) in
     charge op;
+    ctx.steps <- ctx.steps + 1;
     incr pc;
     match op with
     | STOP -> raise (Halted H_stop)
@@ -418,7 +498,7 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
       let off = pop () and len = pop () in
       let o = to_offset off and l = to_offset len in
       let data = Mem.read mem o l in
-      push (with_taint (Mem.range_taint mem o l) (Crypto.Keccak.hash_word data))
+      push (with_taint (Mem.range_taint mem o l) (keccak_word data))
     | ADDRESS -> push (pure storage_addr)
     | BALANCE ->
       let a = pop () in
@@ -429,11 +509,15 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
     | CALLDATALOAD ->
       let off = pop () in
       let o = match U.to_int_opt off.v with Some n when n <= 0x100000 -> n | _ -> 0x100000 in
-      let word =
-        String.init 32 (fun i ->
-            if o + i < String.length msg.data then msg.data.[o + i] else '\000')
+      let w =
+        if o + 32 <= String.length msg.data then U.read_be_string msg.data o
+        else
+          U.of_bytes_be
+            (String.init 32 (fun i ->
+                 if o + i < String.length msg.data then msg.data.[o + i]
+                 else '\000'))
       in
-      push (with_taint T.calldata (U.of_bytes_be word))
+      push (with_taint T.calldata w)
     | CALLDATASIZE -> push (pure (U.of_int (String.length msg.data)))
     | CALLDATACOPY ->
       let dst = pop () and src = pop () and len = pop () in
@@ -448,7 +532,7 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
         Hashtbl.replace mem.Mem.taints (d + !i) Trace.Taint.calldata;
         i := !i + 32
       done
-    | CODESIZE -> push (pure (U.of_int (Bytecode.byte_size code)))
+    | CODESIZE -> push (pure (U.of_int art.Bytecode.a_byte_size))
     | BLOCKHASH ->
       let n = pop () in
       push (with_taint T.block
@@ -485,7 +569,7 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
     | JUMP ->
       let dest = pop () in
       let d = match U.to_int_opt dest.v with Some n -> n | None -> -1 in
-      if Hashtbl.mem jumpdests d then pc := d else raise (Halted H_badjump)
+      if Bytecode.is_jumpdest art d then pc := d else raise (Halted H_badjump)
     | JUMPI ->
       let dest = pop () and cond = pop () in
       let taken = not (U.is_zero cond.v) in
@@ -505,29 +589,23 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
       | None -> ());
       if taken then begin
         let d = match U.to_int_opt dest.v with Some n -> n | None -> -1 in
-        if Hashtbl.mem jumpdests d then pc := d else raise (Halted H_badjump)
+        if Bytecode.is_jumpdest art d then pc := d else raise (Halted H_badjump)
       end
     | PC -> push (pure (U.of_int cur_pc))
     | MSIZE -> push (pure (U.of_int mem.Mem.size))
     | GAS -> push (pure (U.of_int (Stdlib.max ctx.gas 0)))
     | JUMPDEST -> ()
     | PUSH v -> push (pure v)
-    | DUP n -> begin
-      match List.nth_opt !stack (n - 1) with
-      | Some c -> push c
-      | None -> raise (Halted H_stackerr)
-    end
-    | SWAP n -> begin
-      let rec swap_nth i acc = function
-        | x :: rest when i = n ->
-          (match List.rev acc with
-          | top :: mid -> (x :: mid) @ (top :: rest)
-          | [] -> raise (Halted H_stackerr))
-        | x :: rest -> swap_nth (i + 1) (x :: acc) rest
-        | [] -> raise (Halted H_stackerr)
-      in
-      stack := swap_nth 0 [] !stack
-    end
+    | DUP n ->
+      if !sp < n then raise (Halted H_stackerr);
+      push stack.(!sp - n)
+    | SWAP n ->
+      (* Swap the top with the element n below it (EVM SWAPn). *)
+      if !sp < n + 1 then raise (Halted H_stackerr);
+      let i = !sp - 1 and j = !sp - 1 - n in
+      let t = stack.(i) in
+      stack.(i) <- stack.(j);
+      stack.(j) <- t
     | LOG n ->
       let _off = pop () and _len = pop () in
       let topics = ref [] in
@@ -634,6 +712,7 @@ let execute ?(config = default_config) ~block ~state (msg : msg) =
       gas_limit = msg.gas;
       call_counter = 0;
       reentry_budget = config.max_reentries;
+      steps = 0;
     }
   in
   (* Credit the call value before executing the callee frame. *)
@@ -669,6 +748,7 @@ let execute ?(config = default_config) ~block ~state (msg : msg) =
       events = List.rev ctx.events_rev;
       return_data;
       gas_used = ctx.gas_limit - ctx.gas;
+      steps = ctx.steps;
     }
   in
   (final_state, trace)

@@ -108,6 +108,7 @@ type t = {
   events : event list;
   return_data : string;
   gas_used : int;
+  steps : int;
 }
 
 let succeeded t = t.status = Success

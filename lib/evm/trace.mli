@@ -97,6 +97,7 @@ type t = {
   events : event list;  (** in execution order *)
   return_data : string;
   gas_used : int;
+  steps : int;  (** opcodes dispatched, across all frames of the call *)
 }
 
 val succeeded : t -> bool

@@ -6,10 +6,10 @@ let attacker = Evm.Interp.attacker_address
 
 let contract_address = U.of_hex_string "0xc047ac7"
 
+let sender_base = U.of_hex_string "0x5e4de4"
+
 let sender_pool n =
-  attacker
-  :: List.init (Stdlib.max 0 (n - 1)) (fun i ->
-         U.add (U.of_hex_string "0x5e4de4") (U.of_int i))
+  attacker :: List.init (Stdlib.max 0 (n - 1)) (fun i -> U.add sender_base (U.of_int i))
 
 let address_dictionary n =
   sender_pool n @ [ deployer; contract_address; U.zero ]

@@ -273,12 +273,15 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
   let witnesses = ref [] in
   let witness_seeds = ref [] in
   let execs = ref 0 in
+  let steps = ref 0 in
   let checkpoints = ref [] in
   let weight_table : (int * bool, float) Hashtbl.t option ref =
     ref (if config.dynamic_energy then Some (Hashtbl.create 64) else None)
   in
   let budget_left () = !execs < config.max_executions in
-  let cache = if config.state_caching then Some (State_cache.create ()) else None in
+  let cache =
+    if config.state_caching then Some (State_cache.create ~metrics ()) else None
+  in
   (* Execute a seed, fold its feedback into every table, return the run
      plus whether it covered a new branch side. *)
   let exec_and_observe seed =
@@ -287,6 +290,7 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
         ~attacker:config.attacker_enabled ?cache ~metrics seed
     in
     incr execs;
+    steps := !steps + run.Executor.executed_steps;
     Telemetry.Metrics.incr meters.m_execs;
     let new_sides = pending_new_sides bus coverage run.tx_results in
     let fresh =
@@ -551,6 +555,7 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
     {
       Report.contract_name = contract.name;
       executions = !execs;
+      steps = !steps;
       covered_branches = Coverage.covered_count coverage;
       covered = List.sort compare (Coverage.covered coverage);
       total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points cfg);
@@ -596,6 +601,7 @@ type cand = {
 type task_result = {
   t_worker : int;
   t_execs : int;
+  t_steps : int;
   t_probes : int;
   t_cands : cand list;  (* execution order *)
   t_findings : (Oracles.Oracle.finding * Seed.t) list;  (* execution order *)
@@ -614,7 +620,7 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
      lock-free atomics, shared with every sibling domain *)
   let m_execs = Telemetry.Metrics.counter metrics "mufuzz_executions_total" in
   let m_probes = Telemetry.Metrics.counter metrics "mufuzz_mask_probes_total" in
-  let execs = ref 0 and probes = ref 0 in
+  let execs = ref 0 and steps = ref 0 and probes = ref 0 in
   let cands = ref [] and findings = ref [] and weights = ref [] in
   let quota_left () = !execs < quota in
   let cache = caches.(worker) in
@@ -625,6 +631,7 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
         ~metrics seed
     in
     incr execs;
+    steps := !steps + run.Executor.executed_steps;
     Telemetry.Metrics.incr m_execs;
     let fresh =
       List.fold_left
@@ -767,6 +774,7 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
   {
     t_worker = worker;
     t_execs = !execs;
+    t_steps = !steps;
     t_probes = !probes;
     t_cands = List.rev !cands;
     t_findings = List.rev !findings;
@@ -793,6 +801,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
   let witnesses = ref [] in
   let witness_seeds = ref [] in
   let execs = ref 0 in
+  let steps = ref 0 in
   let checkpoints = ref [] in
   let weight_table : (int * bool, float) Hashtbl.t option ref =
     ref (if config.dynamic_energy then Some (Hashtbl.create 64) else None)
@@ -809,7 +818,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
   in
   let caches =
     Array.init jobs (fun _ ->
-        if config.state_caching then Some (State_cache.create ()) else None)
+        if config.state_caching then Some (State_cache.create ~metrics ()) else None)
   in
   let stats0 = Pool.stats pool in
   let execs_by_worker = Array.make jobs 0 in
@@ -1049,6 +1058,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
     Array.iter
       (fun tr ->
         execs := !execs + tr.t_execs;
+        steps := !steps + tr.t_steps;
         execs_by_worker.(tr.t_worker) <-
           execs_by_worker.(tr.t_worker) + tr.t_execs;
         mask_probes_used := !mask_probes_used + tr.t_probes;
@@ -1135,6 +1145,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
   {
     Report.contract_name = contract.name;
     executions = !execs;
+    steps = !steps;
     covered_branches = Coverage.covered_count coverage;
     covered = List.sort compare (Coverage.covered coverage);
     total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points ctx.x_cfg);

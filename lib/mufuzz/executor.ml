@@ -23,15 +23,49 @@ type run = {
   tx_results : tx_result list;
   final_state : Evm.State.t;
   received_value : bool;
+  executed_steps : int;
 }
+
+(* Post-deploy world state memo. Every seed execution previously
+   re-deployed the contract (running its init code through the
+   interpreter) and re-credited the account pool; both are pure
+   functions of (contract, n_senders), and [Evm.State.t] is immutable,
+   so the resulting state can be shared freely. Keyed by physical
+   equality on the contract — a campaign fuzzes a handful of contract
+   values, each a single shared allocation. Domain-local so the memo is
+   lock-free under the parallel runner. *)
+let initial_state_memo :
+    (Minisol.Contract.t * int * Evm.State.t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let memo_capacity = 8
+
+let initial_state_for ~contract ~n_senders senders =
+  let memo = Domain.DLS.get initial_state_memo in
+  let rec find = function
+    | [] -> None
+    | (c, n, st) :: rest ->
+      if c == contract && n = n_senders then Some st else find rest
+  in
+  match find !memo with
+  | Some st -> st
+  | None ->
+    let st = Minisol.Contract.deploy Evm.State.empty contract_address contract in
+    let st = Evm.State.credit st deployer initial_balance in
+    let st =
+      Array.fold_left (fun st s -> Evm.State.credit st s initial_balance) st senders
+    in
+    let kept =
+      if List.length !memo >= memo_capacity then
+        List.filteri (fun i _ -> i < memo_capacity - 1) !memo
+      else !memo
+    in
+    memo := (contract, n_senders, st) :: kept;
+    st
 
 let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t) =
   let senders = Array.of_list (sender_pool n_senders) in
-  let initial_state =
-    let st = Minisol.Contract.deploy Evm.State.empty contract_address contract in
-    let st = Evm.State.credit st deployer initial_balance in
-    Array.fold_left (fun st s -> Evm.State.credit st s initial_balance) st senders
-  in
+  let initial_state = initial_state_for ~contract ~n_senders senders in
   let config =
     if attacker then Evm.Interp.default_config
     else { Evm.Interp.default_config with attacker = None }
@@ -84,6 +118,9 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
   let block = ref block0 in
   let received_value = ref rv0 in
   let results_rev = ref (List.rev prefix_results) in
+  (* Opcode dispatches this call actually performed: cached-prefix
+     transactions are excluded, mirroring mufuzz_txs_total. *)
+  let executed_steps = ref 0 in
   for i = start to n - 1 do
     let tx = txs.(i) in
     let caller =
@@ -102,6 +139,7 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
       }
     in
     let st', trace = Evm.Interp.execute ~config ~block:!block ~state:!state msg in
+    executed_steps := !executed_steps + trace.steps;
     (match gas_histogram with
     | Some h -> Telemetry.Metrics.observe h (float_of_int trace.gas_used)
     | None -> ());
@@ -125,10 +163,18 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
         }
     | None -> ()
   done;
+  (match metrics with
+  | Some m ->
+    Telemetry.Metrics.add
+      (Telemetry.Metrics.counter m "mufuzz_evm_steps_total"
+         ~help:"EVM opcodes dispatched (cached prefixes excluded)")
+      !executed_steps
+  | None -> ());
   {
     tx_results = List.rev !results_rev;
     final_state = !state;
     received_value = !received_value;
+    executed_steps = !executed_steps;
   }
 
 let inspect ~static (run : run) =

@@ -25,6 +25,9 @@ type run = {
   final_state : Evm.State.t;
   received_value : bool;
       (** some successful non-constructor transaction carried value *)
+  executed_steps : int;
+      (** EVM opcodes this call actually dispatched; transactions served
+          from a cached prefix are excluded (mirrors [mufuzz_txs_total]) *)
 }
 
 val run_seed :
@@ -41,9 +44,14 @@ val run_seed :
     Constructor transactions are always issued by {!deployer}. A cache,
     when given, must be dedicated to this (contract, gas, n_senders,
     attacker) configuration. With [metrics], records
-    [mufuzz_txs_total], [mufuzz_cache_prefix_hits_total] and the
-    [mufuzz_tx_gas_used] histogram — all lock-free, safe from worker
-    domains. *)
+    [mufuzz_txs_total], [mufuzz_evm_steps_total],
+    [mufuzz_cache_prefix_hits_total] and the [mufuzz_tx_gas_used]
+    histogram — all lock-free, safe from worker domains.
+
+    The post-deploy world state (deployed code plus funded account
+    pool) is memoized per (contract, n_senders) in domain-local
+    storage, so repeated executions skip the constructor re-run; the
+    returned runs are bit-identical with or without the memo. *)
 
 val inspect : static:Oracles.Oracle.static_info -> run -> Oracles.Oracle.finding list
 (** Run the nine oracles over a completed run — the campaign's and the

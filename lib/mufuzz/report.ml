@@ -18,6 +18,7 @@ type parallel_stats = {
 type t = {
   contract_name : string;
   executions : int;
+  steps : int;
   covered_branches : int;
   covered : (int * bool) list;
   total_branch_sides : int;
@@ -68,6 +69,7 @@ let to_text t =
   pf "MuFuzz report for %s\n" t.contract_name;
   pf "====================%s\n\n" (String.make (String.length t.contract_name) '=');
   pf "executions      : %d\n" t.executions;
+  pf "evm steps       : %d\n" t.steps;
   pf "wall time       : %.2fs\n" t.wall_seconds;
   pf "branch coverage : %.1f%% (%d of %d sides)\n" (coverage_pct t)
     t.covered_branches t.total_branch_sides;
@@ -164,11 +166,16 @@ let to_json t =
     [
       ("contract", J.String t.contract_name);
       ("executions", J.Int t.executions);
+      ("steps", J.Int t.steps);
       ("wall_seconds", J.Float t.wall_seconds);
       ( "execs_per_sec",
         J.Float
           (if t.wall_seconds > 0.0 then
              float_of_int t.executions /. t.wall_seconds
+           else 0.0) );
+      ( "steps_per_sec",
+        J.Float
+          (if t.wall_seconds > 0.0 then float_of_int t.steps /. t.wall_seconds
            else 0.0) );
       ("covered_branches", J.Int t.covered_branches);
       ("total_branch_sides", J.Int t.total_branch_sides);

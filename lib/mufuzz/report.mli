@@ -21,6 +21,9 @@ type parallel_stats = {
 type t = {
   contract_name : string;
   executions : int;
+  steps : int;
+      (** EVM opcodes dispatched across the campaign; transactions
+          replayed from the prefix-state cache are excluded *)
   covered_branches : int;  (** distinct (pc, side) identities exercised *)
   covered : (int * bool) list;  (** the exercised branch sides themselves *)
   total_branch_sides : int;  (** 2 x number of JUMPIs in the bytecode *)

@@ -5,15 +5,57 @@ type snapshot = {
   received_value : bool;
 }
 
+(* Bounded LRU approximated by a second-chance clock: entries live in a
+   ring of [capacity] slots; a hit sets the entry's referenced bit, and
+   the clock hand skips (and clears) referenced entries before evicting.
+   The previous implementation reset the whole table when full, which
+   threw away exactly the hot prefixes the executor was about to ask
+   for; the clock evicts only cold entries, one at a time. *)
+
+type entry = {
+  e_key : string;
+  mutable e_snap : snapshot;
+  mutable referenced : bool;
+}
+
 type t = {
-  table : (string, snapshot) Hashtbl.t;
+  table : (string, entry) Hashtbl.t;
+  slots : entry option array;
+  mutable hand : int;
+  mutable occupied : int;
   capacity : int;
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable eviction_count : int;
+  c_hits : Telemetry.Metrics.counter option;
+  c_misses : Telemetry.Metrics.counter option;
+  c_evictions : Telemetry.Metrics.counter option;
 }
 
-let create ?(capacity = 4096) () =
-  { table = Hashtbl.create 256; capacity; hit_count = 0; miss_count = 0 }
+let create ?(capacity = 4096) ?metrics () =
+  let capacity = Stdlib.max 1 capacity in
+  let counter name help =
+    Option.map
+      (fun m -> Telemetry.Metrics.counter m name ~help)
+      metrics
+  in
+  {
+    table = Hashtbl.create 256;
+    slots = Array.make capacity None;
+    hand = 0;
+    occupied = 0;
+    capacity;
+    hit_count = 0;
+    miss_count = 0;
+    eviction_count = 0;
+    c_hits = counter "mufuzz_cache_hits_total" "prefix-state cache hits";
+    c_misses = counter "mufuzz_cache_misses_total" "prefix-state cache misses";
+    c_evictions =
+      counter "mufuzz_cache_evictions_total"
+        "prefix-state cache entries evicted by the clock hand";
+  }
+
+let bump = function Some c -> Telemetry.Metrics.incr c | None -> ()
 
 let digest_tx prev (tx : Seed.tx) =
   Crypto.Keccak.hash
@@ -22,16 +64,59 @@ let digest_tx prev (tx : Seed.tx) =
 
 let find t key =
   match Hashtbl.find_opt t.table key with
-  | Some s ->
+  | Some e ->
+    e.referenced <- true;
     t.hit_count <- t.hit_count + 1;
-    Some s
+    bump t.c_hits;
+    Some e.e_snap
   | None ->
     t.miss_count <- t.miss_count + 1;
+    bump t.c_misses;
     None
 
+(* Advance the hand to a victim slot: clear referenced bits as it
+   passes, stopping at the first unreferenced entry. Terminates within
+   two sweeps (after one sweep every bit is clear). *)
+let evict_one t =
+  let rec spin () =
+    match t.slots.(t.hand) with
+    | Some e when e.referenced ->
+      e.referenced <- false;
+      t.hand <- (t.hand + 1) mod t.capacity;
+      spin ()
+    | Some e ->
+      Hashtbl.remove t.table e.e_key;
+      t.eviction_count <- t.eviction_count + 1;
+      bump t.c_evictions;
+      let slot = t.hand in
+      t.hand <- (t.hand + 1) mod t.capacity;
+      slot
+    | None ->
+      (* only reachable when not yet full; callers avoid this *)
+      let slot = t.hand in
+      t.hand <- (t.hand + 1) mod t.capacity;
+      slot
+  in
+  spin ()
+
 let store t key snapshot =
-  if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
-  Hashtbl.replace t.table key snapshot
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    e.e_snap <- snapshot;
+    e.referenced <- true
+  | None ->
+    let slot =
+      if t.occupied < t.capacity then begin
+        let s = t.occupied in
+        t.occupied <- t.occupied + 1;
+        s
+      end
+      else evict_one t
+    in
+    let e = { e_key = key; e_snap = snapshot; referenced = false } in
+    t.slots.(slot) <- Some e;
+    Hashtbl.replace t.table key e
 
 let hits t = t.hit_count
 let misses t = t.miss_count
+let evictions t = t.eviction_count

@@ -19,9 +19,13 @@ type snapshot = {
   received_value : bool;
 }
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] bounds the number of snapshots (default 4096); the cache
-    resets wholesale when full — snapshots are cheap to rebuild. *)
+val create : ?capacity:int -> ?metrics:Telemetry.Metrics.t -> unit -> t
+(** [capacity] bounds the number of snapshots (default 4096). When the
+    cache is full a second-chance clock evicts one cold entry per
+    insertion — recently hit snapshots survive, so a full cache keeps
+    serving the prefixes the mutation loop is actively exercising. With
+    [metrics], maintains [mufuzz_cache_hits_total],
+    [mufuzz_cache_misses_total] and [mufuzz_cache_evictions_total]. *)
 
 val digest_tx : string -> Seed.tx -> string
 (** [digest_tx prev tx] chains the prefix digest with this transaction's
@@ -33,3 +37,6 @@ val store : t -> string -> snapshot -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Entries removed by the clock hand since [create]. *)

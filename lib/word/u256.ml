@@ -395,6 +395,34 @@ let to_bytes_be a =
         (Int64.to_int
            (Int64.logand (Int64.shift_right_logical (limb a (bit / 64)) (bit mod 64)) 0xFFL)))
 
+(* Allocation-free big-endian word I/O: four 64-bit limb moves instead of
+   a 32-byte intermediate string. These are the EVM interpreter's MSTORE /
+   MLOAD primitives. *)
+
+let blit_be a buf off =
+  Bytes.set_int64_be buf off a.l3;
+  Bytes.set_int64_be buf (off + 8) a.l2;
+  Bytes.set_int64_be buf (off + 16) a.l1;
+  Bytes.set_int64_be buf (off + 24) a.l0
+
+let read_be buf off =
+  make
+    (Bytes.get_int64_be buf (off + 24))
+    (Bytes.get_int64_be buf (off + 16))
+    (Bytes.get_int64_be buf (off + 8))
+    (Bytes.get_int64_be buf off)
+
+let read_be_string s off =
+  make
+    (String.get_int64_be s (off + 24))
+    (String.get_int64_be s (off + 16))
+    (String.get_int64_be s (off + 8))
+    (String.get_int64_be s off)
+
+(* Fast path for the common exact-width case (hash outputs, memory and
+   calldata words); the byte-at-a-time fold above handles the rest. *)
+let of_bytes_be s = if String.length s = 32 then read_be_string s 0 else of_bytes_be s
+
 let byte i x =
   if i >= 32 || i < 0 then zero
   else logand (shift_right x ((31 - i) * 8)) (of_int 0xff)

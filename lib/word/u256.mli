@@ -51,6 +51,19 @@ val of_bytes_be : string -> t
 val to_bytes_be : t -> string
 (** Exactly 32 big-endian bytes. *)
 
+val blit_be : t -> Bytes.t -> int -> unit
+(** [blit_be x buf off] writes the 32 big-endian bytes of [x] into [buf]
+    at [off] without allocating. [buf] must have at least [off + 32]
+    bytes. *)
+
+val read_be : Bytes.t -> int -> t
+(** [read_be buf off] reads 32 big-endian bytes from [buf] at [off]
+    without intermediate allocation. Inverse of {!blit_be}. *)
+
+val read_be_string : string -> int -> t
+(** As {!read_be} but from a string. The caller must guarantee
+    [off + 32 <= String.length s]. *)
+
 (** {1 Arithmetic (wrapping mod 2^256)} *)
 
 val add : t -> t -> t

@@ -4,4 +4,5 @@ let () =
     @ Test_abi.suite @ Test_minisol.suite @ Test_analysis.suite
     @ Test_oracles.suite @ Test_mufuzz.suite @ Test_baselines.suite
     @ Test_corpus.suite @ Test_parallel.suite @ Test_telemetry.suite
-    @ Test_differential.suite @ Test_triage.suite @ Test_golden.suite)
+    @ Test_differential.suite @ Test_triage.suite @ Test_hotloop.suite
+    @ Test_golden.suite)

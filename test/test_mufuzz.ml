@@ -165,7 +165,7 @@ let coverage_tests =
           { Evm.Trace.status = Evm.Trace.Success;
             events = [ Evm.Trace.Branch { pc = 3; taken; dist_to_flip = 2.0;
                                           cond_taint = 0 } ];
-            return_data = ""; gas_used = 0 }
+            return_data = ""; gas_used = 0; steps = 0 }
         in
         Alcotest.(check bool) "first" true (Mufuzz.Coverage.record cov (trace true));
         Alcotest.(check bool) "repeat" false (Mufuzz.Coverage.record cov (trace true));
@@ -176,7 +176,7 @@ let coverage_tests =
           { Evm.Trace.status = Evm.Trace.Success;
             events = [ Evm.Trace.Branch { pc = 7; taken = true; dist_to_flip = 5.0;
                                           cond_taint = 0 } ];
-            return_data = ""; gas_used = 0 }
+            return_data = ""; gas_used = 0; steps = 0 }
         in
         ignore (Mufuzz.Coverage.record cov trace);
         Alcotest.(check (list (pair int bool))) "frontier" [ (7, false) ]
@@ -189,7 +189,7 @@ let coverage_tests =
           { Evm.Trace.status = Evm.Trace.Success;
             events = [ Evm.Trace.Branch { pc = 7; taken; dist_to_flip = 5.0;
                                           cond_taint = 0 } ];
-            return_data = ""; gas_used = 0 }
+            return_data = ""; gas_used = 0; steps = 0 }
         in
         ignore (Mufuzz.Coverage.record cov (trace true));
         ignore (Mufuzz.Coverage.record cov (trace false));
@@ -201,7 +201,7 @@ let coverage_tests =
             events =
               [ Evm.Trace.Branch { pc = 7; taken = true; dist_to_flip = 5.0; cond_taint = 0 };
                 Evm.Trace.Branch { pc = 7; taken = true; dist_to_flip = 2.0; cond_taint = 0 } ];
-            return_data = ""; gas_used = 0 }
+            return_data = ""; gas_used = 0; steps = 0 }
         in
         Alcotest.(check (option (float 0.001))) "min" (Some 2.0)
           (Mufuzz.Coverage.trace_min_distance trace (7, false)));
@@ -401,6 +401,7 @@ let report_tests =
               {
                 Mufuzz.Report.contract_name = "T";
                 executions = n;
+                steps = 0;
                 covered_branches = n;
                 covered = [];
                 total_branch_sides = 2 * n;

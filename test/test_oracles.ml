@@ -175,7 +175,7 @@ let suite = suite @ [ ("oracles: flavor detection", flavor_detection) ]
 
 (* Direct unit tests over hand-built traces (no EVM in the loop). *)
 let mk_trace events =
-  { Evm.Trace.status = Evm.Trace.Success; events; return_data = ""; gas_used = 0 }
+  { Evm.Trace.status = Evm.Trace.Success; events; return_data = ""; gas_used = 0; steps = 0 }
 
 let static_none =
   { O.has_value_out = true; payable_functions = [] }

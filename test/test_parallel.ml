@@ -12,7 +12,7 @@ let qprop name ?(count = 200) ~print gen f =
 (* Coverage.merge                                                      *)
 
 let trace_of events =
-  { Evm.Trace.status = Evm.Trace.Success; events; return_data = ""; gas_used = 0 }
+  { Evm.Trace.status = Evm.Trace.Success; events; return_data = ""; gas_used = 0; steps = 0 }
 
 let branch (pc, taken, d) =
   Evm.Trace.Branch
