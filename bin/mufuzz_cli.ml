@@ -2,6 +2,7 @@
 
    Subcommands:
      fuzz <file.sol>      — fuzz a contract and report coverage + findings
+     resume <dir>         — resume a campaign from its checkpoint directory
      analyze <file.sol>   — static front end: sequence, dependencies, CFG
      disasm <file.sol>    — compile and print the bytecode listing
      exec <file.sol> fn   — run a single transaction and dump the trace
@@ -113,12 +114,51 @@ let artifacts_arg =
                finding into DIR (created if missing). Replay them later \
                with $(b,mufuzz repro).")
 
+let max_seconds_arg =
+  Arg.(value & opt float 0.0 & info [ "max-seconds" ] ~docv:"SECS"
+         ~doc:"Wall-clock budget: stop the campaign after SECS seconds even \
+               if executions remain. 0 (the default) disables the time \
+               budget, keeping campaigns deterministic per seed.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR"
+         ~doc:"Persist crash-safe campaign checkpoints into DIR (created if \
+               missing). Each write is atomic (temp file + rename) and the \
+               directory keeps the newest $(b,--checkpoint-keep) files. \
+               Resume later with $(b,mufuzz resume) DIR.")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 500 & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Write a checkpoint every N executions (at the next safe \
+               point). 0 disables the execution cadence.")
+
+let checkpoint_seconds_arg =
+  Arg.(value & opt float 0.0 & info [ "checkpoint-seconds" ] ~docv:"SECS"
+         ~doc:"Also write a checkpoint when SECS seconds have passed since \
+               the last one. 0 (the default) disables the time cadence.")
+
+let checkpoint_keep_arg =
+  Arg.(value & opt int 3 & info [ "checkpoint-keep" ] ~docv:"K"
+         ~doc:"How many rotated checkpoint files to keep (oldest pruned).")
+
+let write_report_file ~json path report =
+  let content =
+    if json then Mufuzz.Report.to_json_string report ^ "\n"
+    else Mufuzz.Report.to_text report
+  in
+  Util.Fileio.write_atomic path content
+
+let write_metrics_file metrics = function
+  | Some path -> Util.Fileio.write_atomic path (Telemetry.Metrics.dump metrics)
+  | None -> ()
+
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
   let run file budget seed jobs tool disabled out do_minimize corpus_in
       corpus_out json trace status_interval metrics_out strict_corpus
-      artifacts_dir verbose =
+      artifacts_dir max_seconds checkpoint_dir checkpoint_every
+      checkpoint_seconds checkpoint_keep verbose =
     setup_logs verbose;
     let contract = load file in
     let profile =
@@ -132,7 +172,12 @@ let fuzz_cmd =
       { Mufuzz.Config.default with max_executions = budget; rng_seed = seed;
         jobs = Stdlib.max 1 jobs; trace_path = trace;
         strict_corpus;
-        status_interval = Stdlib.max 0.0 status_interval }
+        status_interval = Stdlib.max 0.0 status_interval;
+        max_seconds = Stdlib.max 0.0 max_seconds;
+        checkpoint_dir;
+        checkpoint_every_execs = Stdlib.max 0 checkpoint_every;
+        checkpoint_every_seconds = Stdlib.max 0.0 checkpoint_seconds;
+        checkpoint_keep = Stdlib.max 1 checkpoint_keep }
     in
     let config =
       List.fold_left
@@ -176,8 +221,20 @@ let fuzz_cmd =
       Printf.printf "sequence: [%s]\n\n"
         (String.concat " -> " (Mufuzz.Campaign.derive_sequence contract))
     end;
+    (* apply the profile up front (configure is idempotent) so the
+       checkpoint driver persists the effective config, not the raw
+       CLI one — a resumed baseline campaign must re-run under the
+       same policy *)
+    let config = profile.configure config in
     let metrics = Telemetry.Metrics.create () in
-    let report = Baselines.Fuzzers.run profile ~config ~metrics contract in
+    let driver =
+      Persist.Driver.of_config ~metrics ~tool:profile.name ~contract config
+    in
+    let report =
+      Baselines.Fuzzers.run profile ~config ~metrics
+        ?on_safe_point:(Option.map Persist.Driver.hook driver)
+        contract
+    in
     let report = { report with Mufuzz.Report.corpus_skipped } in
     (match artifacts_dir with
     | Some dir ->
@@ -203,21 +260,10 @@ let fuzz_cmd =
                 (List.length r.seed.txs) r.execs)
         report.witness_seeds
     | None -> ());
-    (match metrics_out with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Telemetry.Metrics.dump metrics);
-      close_out oc
-    | None -> ());
+    write_metrics_file metrics metrics_out;
     if json then begin
       print_endline (Mufuzz.Report.to_json_string report);
-      match out with
-      | Some path ->
-        let oc = open_out path in
-        output_string oc (Mufuzz.Report.to_json_string report);
-        output_char oc '\n';
-        close_out oc
-      | None -> ()
+      Option.iter (fun path -> write_report_file ~json:true path report) out
     end
     else begin
       Format.printf "%a@." Mufuzz.Report.pp_summary report;
@@ -259,9 +305,7 @@ let fuzz_cmd =
       | None -> ());
       match out with
       | Some path ->
-        let oc = open_out path in
-        output_string oc (Mufuzz.Report.to_text report);
-        close_out oc;
+        write_report_file ~json:false path report;
         Printf.printf "\nfull report written to %s\n" path
       | None -> ()
     end;
@@ -276,7 +320,104 @@ let fuzz_cmd =
     Term.(const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ tool_arg
           $ ablation_arg $ out_arg $ minimize_arg $ corpus_in_arg $ corpus_out_arg
           $ json_arg $ trace_arg $ status_interval_arg $ metrics_arg
-          $ strict_corpus_arg $ artifacts_arg $ verbose_arg)
+          $ strict_corpus_arg $ artifacts_arg $ max_seconds_arg
+          $ checkpoint_arg $ checkpoint_every_arg $ checkpoint_seconds_arg
+          $ checkpoint_keep_arg $ verbose_arg)
+
+(* ---------------- resume ---------------- *)
+
+let resume_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Checkpoint directory written by $(b,mufuzz fuzz --checkpoint).")
+  in
+  let budget_override_arg =
+    Arg.(value & opt (some int) None & info [ "budget"; "n" ] ~docv:"N"
+           ~doc:"Override the execution budget (e.g. to extend a finished \
+                 campaign). Default: the budget recorded in the checkpoint.")
+  in
+  let max_seconds_override_arg =
+    Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"SECS"
+           ~doc:"Override the wall-clock budget recorded in the checkpoint.")
+  in
+  let run dir budget_override max_seconds_override out json trace
+      status_interval metrics_out verbose =
+    setup_logs verbose;
+    match Persist.Store.load_latest dir with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" dir msg;
+      exit 1
+    | Ok (path, ckpt) ->
+      let contract = ckpt.Persist.Checkpoint.contract in
+      let profile =
+        match Baselines.Fuzzers.find ckpt.tool with
+        | Some p -> p
+        | None ->
+          Printf.eprintf "%s: unknown tool %S in checkpoint\n" path ckpt.tool;
+          exit 1
+      in
+      let config =
+        { ckpt.config with
+          (* keep writing into the directory we resumed from, wherever
+             the original campaign's --checkpoint pointed *)
+          Mufuzz.Config.checkpoint_dir = Some dir;
+          max_executions =
+            Option.value budget_override ~default:ckpt.config.max_executions;
+          max_seconds =
+            Option.value max_seconds_override ~default:ckpt.config.max_seconds;
+          trace_path = (match trace with Some _ -> trace | None -> ckpt.config.trace_path);
+          status_interval =
+            (if status_interval > 0.0 then status_interval
+             else ckpt.config.status_interval) }
+      in
+      if not json then
+        Printf.printf
+          "resuming %s with %s from %s (%d/%d executions done, %d queue seeds)\n"
+          contract.Minisol.Contract.name profile.name path
+          ckpt.snapshot.Mufuzz.Campaign.sn_execs config.max_executions
+          (List.length ckpt.snapshot.sn_queue);
+      let metrics = Telemetry.Metrics.create () in
+      let driver =
+        Persist.Driver.of_config ~metrics ~start_execs:ckpt.snapshot.sn_execs
+          ~tool:profile.name ~contract config
+      in
+      let report =
+        Baselines.Fuzzers.run profile ~config ~metrics
+          ~resume:(path, ckpt.snapshot)
+          ?on_safe_point:(Option.map Persist.Driver.hook driver)
+          contract
+      in
+      write_metrics_file metrics metrics_out;
+      if json then begin
+        print_endline (Mufuzz.Report.to_json_string report);
+        Option.iter (fun p -> write_report_file ~json:true p report) out
+      end
+      else begin
+        Format.printf "%a@." Mufuzz.Report.pp_summary report;
+        List.iter
+          (fun ((f : Oracles.Oracle.finding), witness) ->
+            Format.printf "@.%a@.  %s@.  witness: %s@."
+              Oracles.Oracle.pp_finding f
+              (Oracles.Oracle.class_description f.cls)
+              witness)
+          report.witnesses;
+        match out with
+        | Some p ->
+          write_report_file ~json:false p report;
+          Printf.printf "\nfull report written to %s\n" p
+        | None -> ()
+      end
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Resume a fuzzing campaign from its checkpoint directory. At \
+             jobs 1 the resumed campaign replays the exact run the \
+             uninterrupted campaign would have produced (same RNG stream, \
+             same coverage, same findings); at jobs N the merged coverage \
+             and findings are equivalent.")
+    Term.(const run $ dir_arg $ budget_override_arg $ max_seconds_override_arg
+          $ out_arg $ json_arg $ trace_arg $ status_interval_arg $ metrics_arg
+          $ verbose_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -486,5 +627,5 @@ let () =
       ~doc:"Sequence-aware smart contract fuzzing (MuFuzz, ICDE 2024 reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ fuzz_cmd; analyze_cmd; disasm_cmd; exec_cmd; static_cmd; corpus_cmd;
-         shrink_cmd; repro_cmd ]))
+       [ fuzz_cmd; resume_cmd; analyze_cmd; disasm_cmd; exec_cmd; static_cmd;
+         corpus_cmd; shrink_cmd; repro_cmd ]))

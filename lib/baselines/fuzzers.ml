@@ -125,10 +125,11 @@ let extended = all @ [ contractfuzzer; echidna ]
 
 let find name = List.find_opt (fun p -> p.name = name) extended
 
-let run profile ?(config = C.default) ?pool ?sinks ?metrics contract =
+let run profile ?(config = C.default) ?pool ?sinks ?metrics ?resume
+    ?on_safe_point contract =
   let report =
     Mufuzz.Campaign.run_parallel ~config:(profile.configure config) ?pool ?sinks
-      ?metrics contract
+      ?metrics ?resume ?on_safe_point contract
   in
   let keep (f : O.finding) = List.mem f.cls profile.supports in
   {

@@ -51,10 +51,21 @@ val run :
   ?pool:Mufuzz.Pool.t ->
   ?sinks:Telemetry.Sink.t list ->
   ?metrics:Telemetry.Metrics.t ->
+  ?resume:string * Mufuzz.Campaign.snapshot ->
+  ?on_safe_point:
+    (final:bool ->
+    bus:Telemetry.Bus.t ->
+    execs:int ->
+    (unit -> Mufuzz.Campaign.snapshot) ->
+    unit) ->
   Minisol.Contract.t ->
   Mufuzz.Report.t
 (** Run the tool's campaign; the report's findings are filtered to the
     tool's supported classes. Runs through {!Mufuzz.Campaign.run_parallel},
     so [config.jobs] (or an explicit [pool]) shards the campaign across
     worker domains; the default [jobs = 1] is the sequential loop.
-    [sinks]/[metrics] are passed through to the campaign's telemetry. *)
+    [sinks]/[metrics] are passed through to the campaign's telemetry;
+    [resume]/[on_safe_point] to the campaign's checkpoint machinery
+    (note [configure] must already have been applied to the config a
+    resumed snapshot was captured under — the checkpoint stores the
+    effective config, so this holds when resuming via [mufuzz resume]). *)

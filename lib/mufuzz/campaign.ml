@@ -72,6 +72,145 @@ let sorted_occurrences occ =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) occ []
   |> List.sort (fun (a, _) (b, _) -> Oracles.Oracle.compare_key a b)
 
+(* ---------------- checkpoint snapshots ---------------- *)
+
+type snapshot_entry = {
+  sn_seed : Seed.t;
+  sn_path : (int * bool) list;
+  sn_nested : (int * bool) list;
+  sn_fdists : ((int * bool) * float) list;
+  sn_masks : (int * Mask.t) list;
+}
+
+type snapshot = {
+  sn_execs : int;
+  sn_steps : int;
+  sn_mask_probes : int;
+  sn_cursor : int;
+  sn_rng : int64;
+  sn_rng_counter : int;
+  sn_elapsed : float;
+  sn_entries : snapshot_entry array;
+  sn_queue : int list;
+  sn_best : ((int * bool) * float * int) list;
+  sn_coverage : Coverage.t;
+  sn_weights : ((int * bool) * float) list option;
+  sn_findings : (Oracles.Oracle.finding * Seed.t) list;
+  sn_occ : (Oracles.Oracle.key * int) list;
+  sn_over_time : Report.checkpoint list;
+}
+
+let snapshot_entry_of_entry (e : entry) =
+  {
+    sn_seed = e.seed;
+    sn_path = e.path;
+    sn_nested = e.nested_hits;
+    sn_fdists = e.frontier_dists;
+    sn_masks =
+      Hashtbl.fold (fun i m acc -> (i, m) :: acc) e.masks []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
+
+let entry_of_snapshot_entry (se : snapshot_entry) =
+  let masks = Hashtbl.create 4 in
+  List.iter (fun (i, m) -> Hashtbl.replace masks i m) se.sn_masks;
+  {
+    seed = se.sn_seed;
+    path = se.sn_path;
+    nested_hits = se.sn_nested;
+    frontier_dists = se.sn_fdists;
+    masks;
+  }
+
+(* Capture every mutable structure of a campaign at a safe point. Queue
+   and distance pool share [entry] values by physical identity (mask
+   caches mutate them in place), so both serialise as indices into one
+   deduplicated entry pool. Everything is copied out: the snapshot stays
+   valid while the campaign keeps mutating. *)
+let capture_snapshot ~execs ~steps ~mask_probes ~cursor ~rng ~rng_counter
+    ~elapsed ~queue ~best_for_branch ~coverage ~weight_table ~witness_seeds
+    ~occ ~checkpoints =
+  let seen = ref [] in
+  let count = ref 0 in
+  let id_of e =
+    let rec find = function
+      | [] -> None
+      | (e', id) :: rest -> if e' == e then Some id else find rest
+    in
+    match find !seen with
+    | Some id -> id
+    | None ->
+      let id = !count in
+      incr count;
+      seen := (e, id) :: !seen;
+      id
+  in
+  let sn_queue = List.map id_of (Array.to_list queue) in
+  let sn_best =
+    List.rev
+      (Hashtbl.fold (fun br (d, e) acc -> (br, d, id_of e) :: acc)
+         best_for_branch [])
+  in
+  let sn_entries =
+    List.rev_map (fun (e, _) -> snapshot_entry_of_entry e) !seen
+    |> Array.of_list
+  in
+  {
+    sn_execs = execs;
+    sn_steps = steps;
+    sn_mask_probes = mask_probes;
+    sn_cursor = cursor;
+    sn_rng = Util.Rng.save rng;
+    sn_rng_counter = rng_counter;
+    sn_elapsed = elapsed;
+    sn_entries;
+    sn_queue;
+    sn_best;
+    sn_coverage = Coverage.copy coverage;
+    sn_weights =
+      Option.map
+        (fun tbl ->
+          Hashtbl.fold (fun k w acc -> (k, w) :: acc) tbl []
+          |> List.sort compare)
+        weight_table;
+    sn_findings = List.rev witness_seeds;
+    sn_occ = sorted_occurrences occ;
+    sn_over_time = List.rev checkpoints;
+  }
+
+(* Rebuild the seed pool of a snapshot. [sn_best] was recorded in
+   [Hashtbl.fold] order and is re-inserted in REVERSE fold order into a
+   table of the same initial capacity: stdlib buckets keep bindings
+   most-recent-first, resizes preserve relative order and the resize
+   points depend only on the binding count, so this reproduces the
+   original table layout exactly — and with it the fold order the
+   distance-feedback selection observes. That, plus the restored RNG
+   stream, is what makes a resumed [--jobs 1] campaign replay the
+   uninterrupted one bit-for-bit. *)
+let restore_pool (s : snapshot) =
+  let entries = Array.map entry_of_snapshot_entry s.sn_entries in
+  let queue = Array.of_list (List.map (fun i -> entries.(i)) s.sn_queue) in
+  let best_for_branch : (int * bool, float * entry) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (br, d, i) -> Hashtbl.replace best_for_branch br (d, entries.(i)))
+    (List.rev s.sn_best);
+  (queue, best_for_branch)
+
+let m_checkpoint_loaded metrics =
+  Telemetry.Metrics.counter metrics "mufuzz_checkpoint_loaded_total"
+    ~help:"campaign checkpoints restored"
+
+let emit_resumed ~bus ~metrics resume =
+  match resume with
+  | None -> ()
+  | Some (path, s) ->
+    Telemetry.Metrics.incr (m_checkpoint_loaded metrics);
+    Telemetry.Bus.emit bus
+      (Telemetry.Event.Checkpoint_loaded { execs = s.sn_execs; path });
+    Log.info (fun m -> m "resumed from %s at exec %d" path s.sn_execs)
+
 (* Immutable per-contract context, derived once and shared read-only by
    the sequential loop and every worker domain. *)
 type ctx = {
@@ -251,10 +390,20 @@ let mutate_sequence ctx rng (seed : Seed.t) =
                                     ~n_senders:config.n_senders fn ]) })
   end
 
-let run ?(config = Config.default) ?(sinks = []) ?metrics
+let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
     (contract : Minisol.Contract.t) =
-  let start_time = Unix.gettimeofday () in
-  let rng = Util.Rng.create config.rng_seed in
+  (* shift the clock back by the time already spent before the
+     checkpoint, so wall_seconds and the max_seconds budget span the
+     whole logical campaign, not just this process *)
+  let prior_elapsed =
+    match resume with Some (_, s) -> s.sn_elapsed | None -> 0.0
+  in
+  let start_time = Unix.gettimeofday () -. prior_elapsed in
+  let rng =
+    match resume with
+    | Some (_, s) -> Util.Rng.restore s.sn_rng
+    | None -> Util.Rng.create config.rng_seed
+  in
   let ctx = make_ctx config contract in
   let cfg = ctx.x_cfg in
   let dict = ctx.x_dict in
@@ -264,7 +413,11 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
   in
   let bus = make_bus config ~total_sides:(total_sides_of_cfg cfg) sinks in
   let meters = make_meters metrics in
-  let coverage = Coverage.create () in
+  let coverage =
+    match resume with
+    | Some (_, s) -> Coverage.copy s.sn_coverage
+    | None -> Coverage.create ()
+  in
   let findings_tbl : (Oracles.Oracle.bug_class * int, unit) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -272,16 +425,47 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
   let findings = ref [] in
   let witnesses = ref [] in
   let witness_seeds = ref [] in
-  let execs = ref 0 in
-  let steps = ref 0 in
-  let checkpoints = ref [] in
-  let weight_table : (int * bool, float) Hashtbl.t option ref =
-    ref (if config.dynamic_energy then Some (Hashtbl.create 64) else None)
+  (match resume with
+  | Some (_, s) ->
+    List.iter (fun (k, n) -> Hashtbl.replace occ k n) s.sn_occ;
+    List.iter
+      (fun ((f : Oracles.Oracle.finding), seed) ->
+        Hashtbl.replace findings_tbl (f.cls, f.pc) ();
+        findings := f :: !findings;
+        witnesses := (f, Seed.show seed) :: !witnesses;
+        witness_seeds := (f, seed) :: !witness_seeds)
+      s.sn_findings
+  | None -> ());
+  let execs = ref (match resume with Some (_, s) -> s.sn_execs | None -> 0) in
+  let steps = ref (match resume with Some (_, s) -> s.sn_steps | None -> 0) in
+  let checkpoints =
+    ref (match resume with Some (_, s) -> List.rev s.sn_over_time | None -> [])
   in
-  let budget_left () = !execs < config.max_executions in
+  let weight_table : (int * bool, float) Hashtbl.t option ref =
+    ref
+      (if not config.dynamic_energy then None
+       else
+         let tbl = Hashtbl.create 64 in
+         (match resume with
+         | Some (_, { sn_weights = Some ws; _ }) ->
+           List.iter (fun (k, w) -> Hashtbl.replace tbl k w) ws
+         | _ -> ());
+         Some tbl)
+  in
+  let deadline =
+    if config.max_seconds > 0.0 then Some (start_time +. config.max_seconds)
+    else None
+  in
+  let time_exhausted () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+  in
+  let budget_left () =
+    !execs < config.max_executions && not (time_exhausted ())
+  in
   let cache =
     if config.state_caching then Some (State_cache.create ~metrics ()) else None
   in
+  emit_resumed ~bus ~metrics resume;
   (* Execute a seed, fold its feedback into every table, return the run
      plus whether it covered a new branch side. *)
   let exec_and_observe seed =
@@ -290,7 +474,11 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
         ~attacker:config.attacker_enabled ?cache ~metrics seed
     in
     incr execs;
-    steps := !steps + run.Executor.executed_steps;
+    (* logical steps (cached prefixes included): a pure function of the
+       executed seeds, so the report total survives checkpoint/resume
+       with a cold state cache; the physical total still feeds the
+       mufuzz_evm_steps_total metric inside the executor *)
+    steps := !steps + run.Executor.logical_steps;
     Telemetry.Metrics.incr meters.m_execs;
     let new_sides = pending_new_sides bus coverage run.tx_results in
     let fresh =
@@ -359,7 +547,12 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
   in
   (* ---------------- initial seeds ---------------- *)
   let new_seed () = new_seed ctx rng in
-  let queue : entry array ref = ref [||] in
+  let restored_queue, restored_best =
+    match resume with
+    | Some (_, s) -> restore_pool s
+    | None -> ([||], Hashtbl.create 64)
+  in
+  let queue : entry array ref = ref restored_queue in
   let queue_add e =
     let cap = 128 in
     let q = Array.to_list !queue @ [ e ] in
@@ -370,7 +563,7 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
       (Telemetry.Event.Seed_enqueued
          { txs = List.length e.seed.txs; queue_len = Array.length !queue })
   in
-  let best_for_branch : (int * bool, float * entry) Hashtbl.t = Hashtbl.create 64 in
+  let best_for_branch : (int * bool, float * entry) Hashtbl.t = restored_best in
   let note_entry e =
     List.iter
       (fun (br, d) ->
@@ -379,27 +572,33 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
         | _ -> Hashtbl.replace best_for_branch br (d, e))
       e.frontier_dists
   in
-  (* replayed corpus first, then freshly generated seeds *)
-  List.iter
-    (fun seed ->
+  (* a resumed campaign already carries its seeded queue; re-running the
+     bootstrap would double-spend the budget and desync the RNG *)
+  if resume = None then begin
+    (* replayed corpus first, then freshly generated seeds *)
+    List.iter
+      (fun seed ->
+        if budget_left () then begin
+          let run, _fresh = exec_and_observe seed in
+          let e = mk_entry seed run in
+          queue_add e;
+          note_entry e
+        end)
+      config.initial_corpus;
+    for _ = 1 to config.initial_seeds do
       if budget_left () then begin
+        let seed = new_seed () in
         let run, _fresh = exec_and_observe seed in
         let e = mk_entry seed run in
         queue_add e;
         note_entry e
-      end)
-    config.initial_corpus;
-  for _ = 1 to config.initial_seeds do
-    if budget_left () then begin
-      let seed = new_seed () in
-      let run, _fresh = exec_and_observe seed in
-      let e = mk_entry seed run in
-      queue_add e;
-      note_entry e
-    end
-  done;
+      end
+    done
+  end;
   (* ---------------- mask probing ---------------- *)
-  let mask_probes_used = ref 0 in
+  let mask_probes_used =
+    ref (match resume with Some (_, s) -> s.sn_mask_probes | None -> 0)
+  in
   let mask_budget_left () =
     float_of_int !mask_probes_used
     < config.mask_budget_fraction *. float_of_int config.max_executions
@@ -458,14 +657,32 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
       end
   in
   let mutate_sequence seed = mutate_sequence ctx rng seed in
+  let cursor = ref (match resume with Some (_, s) -> s.sn_cursor | None -> 0) in
+  (* Safe points: moments where every feedback structure is consistent
+     and no work is in flight, so the whole campaign can be captured.
+     The snapshot is built lazily — only when the hook decides the
+     cadence is due does any copying happen. *)
+  let safe_point ~final =
+    match on_safe_point with
+    | None -> ()
+    | Some hook ->
+      hook ~final ~bus ~execs:!execs (fun () ->
+          capture_snapshot ~execs:!execs ~steps:!steps
+            ~mask_probes:!mask_probes_used ~cursor:!cursor ~rng ~rng_counter:0
+            ~elapsed:(Unix.gettimeofday () -. start_time)
+            ~queue:!queue ~best_for_branch ~coverage
+            ~weight_table:!weight_table ~witness_seeds:!witness_seeds ~occ
+            ~checkpoints:!checkpoints)
+  in
   (* ---------------- main loop ---------------- *)
   (* black-box mode: no feedback, fresh random seeds until the budget ends *)
   if config.blackbox then
     while budget_left () do
+      safe_point ~final:false;
       ignore (exec_and_observe (new_seed ()))
     done;
-  let cursor = ref 0 in
   while budget_left () && Array.length !queue > 0 do
+    safe_point ~final:false;
     (* Branch-distance-feedback selection (Algorithm 1 lines 8-13): most
        picks go to the seed closest to some still-uncovered branch. *)
     let entry =
@@ -551,6 +768,12 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
       end
     done
   done;
+  safe_point ~final:true;
+  let stop_reason =
+    if !execs >= config.max_executions then Report.Budget_exhausted
+    else if time_exhausted () then Report.Time_exhausted
+    else Report.Queue_exhausted
+  in
   let report =
     {
       Report.contract_name = contract.name;
@@ -568,6 +791,7 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics
       corpus = Array.to_list !queue |> List.map (fun e -> e.seed);
       corpus_skipped = [];
       wall_seconds = Unix.gettimeofday () -. start_time;
+      stop_reason;
       parallel = None;
     }
   in
@@ -631,7 +855,7 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
         ~metrics seed
     in
     incr execs;
-    steps := !steps + run.Executor.executed_steps;
+    steps := !steps + run.Executor.logical_steps;
     Telemetry.Metrics.incr m_execs;
     let fresh =
       List.fold_left
@@ -782,17 +1006,28 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
     t_cov = cov;
   }
 
-let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
-    (contract : Minisol.Contract.t) =
-  let start_time = Unix.gettimeofday () in
+let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
+    pool config (contract : Minisol.Contract.t) =
+  let prior_elapsed =
+    match resume with Some (_, s) -> s.sn_elapsed | None -> 0.0
+  in
+  let start_time = Unix.gettimeofday () -. prior_elapsed in
   let jobs = Pool.size pool in
   let ctx = make_ctx config contract in
-  let rng = Util.Rng.create config.rng_seed in
+  let rng =
+    match resume with
+    | Some (_, s) -> Util.Rng.restore s.sn_rng
+    | None -> Util.Rng.create config.rng_seed
+  in
   let metrics =
     match metrics with Some m -> m | None -> Telemetry.Metrics.create ()
   in
   let meters = make_meters metrics in
-  let coverage = Coverage.create () in
+  let coverage =
+    match resume with
+    | Some (_, s) -> Coverage.copy s.sn_coverage
+    | None -> Coverage.create ()
+  in
   let findings_tbl : (Oracles.Oracle.bug_class * int, unit) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -800,17 +1035,53 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
   let findings = ref [] in
   let witnesses = ref [] in
   let witness_seeds = ref [] in
-  let execs = ref 0 in
-  let steps = ref 0 in
-  let checkpoints = ref [] in
-  let weight_table : (int * bool, float) Hashtbl.t option ref =
-    ref (if config.dynamic_energy then Some (Hashtbl.create 64) else None)
+  (match resume with
+  | Some (_, s) ->
+    List.iter (fun (k, n) -> Hashtbl.replace occ k n) s.sn_occ;
+    List.iter
+      (fun ((f : Oracles.Oracle.finding), seed) ->
+        Hashtbl.replace findings_tbl (f.cls, f.pc) ();
+        findings := f :: !findings;
+        witnesses := (f, Seed.show seed) :: !witnesses;
+        witness_seeds := (f, seed) :: !witness_seeds)
+      s.sn_findings
+  | None -> ());
+  let execs = ref (match resume with Some (_, s) -> s.sn_execs | None -> 0) in
+  let steps = ref (match resume with Some (_, s) -> s.sn_steps | None -> 0) in
+  let checkpoints =
+    ref (match resume with Some (_, s) -> List.rev s.sn_over_time | None -> [])
   in
-  let mask_probes_used = ref 0 in
-  let budget_left () = !execs < config.max_executions in
+  let weight_table : (int * bool, float) Hashtbl.t option ref =
+    ref
+      (if not config.dynamic_energy then None
+       else
+         let tbl = Hashtbl.create 64 in
+         (match resume with
+         | Some (_, { sn_weights = Some ws; _ }) ->
+           List.iter (fun (k, w) -> Hashtbl.replace tbl k w) ws
+         | _ -> ());
+         Some tbl)
+  in
+  let mask_probes_used =
+    ref (match resume with Some (_, s) -> s.sn_mask_probes | None -> 0)
+  in
+  let deadline =
+    if config.max_seconds > 0.0 then Some (start_time +. config.max_seconds)
+    else None
+  in
+  let time_exhausted () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+  in
+  let budget_left () =
+    !execs < config.max_executions && not (time_exhausted ())
+  in
   (* every worker stream is a pure function of (campaign seed, dispatch
-     counter): runs are reproducible for a fixed (rng_seed, jobs) *)
-  let rng_counter = ref 0 in
+     counter): runs are reproducible for a fixed (rng_seed, jobs) — the
+     counter rides along in checkpoints so resumed campaigns continue
+     with fresh streams instead of replaying spent ones *)
+  let rng_counter =
+    ref (match resume with Some (_, s) -> s.sn_rng_counter | None -> 0)
+  in
   let next_worker_rng () =
     let k = !rng_counter in
     incr rng_counter;
@@ -824,7 +1095,12 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
   let execs_by_worker = Array.make jobs 0 in
   let rounds = ref 0 in
   let merge_seconds = ref 0.0 in
-  let queue : entry array ref = ref [||] in
+  let restored_queue, restored_best =
+    match resume with
+    | Some (_, s) -> restore_pool s
+    | None -> ([||], Hashtbl.create 64)
+  in
+  let queue : entry array ref = ref restored_queue in
   let queue_add e =
     let cap = 128 in
     let q = Array.to_list !queue @ [ e ] in
@@ -835,7 +1111,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
       (Telemetry.Event.Seed_enqueued
          { txs = List.length e.seed.txs; queue_len = Array.length !queue })
   in
-  let best_for_branch : (int * bool, float * entry) Hashtbl.t = Hashtbl.create 64 in
+  let best_for_branch : (int * bool, float * entry) Hashtbl.t = restored_best in
   let note_entry e =
     List.iter
       (fun (br, d) ->
@@ -964,19 +1240,39 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
         results
     end
   in
-  (* ---------------- initial seeds ---------------- *)
-  let initial_seeds =
-    let fresh = ref [] in
-    for _ = 1 to config.initial_seeds do
-      fresh := new_seed ctx rng :: !fresh
-    done;
-    let all = config.initial_corpus @ List.rev !fresh in
-    List.filteri (fun i _ -> i < config.max_executions) all
+  let cursor = ref (match resume with Some (_, s) -> s.sn_cursor | None -> 0) in
+  (* capture between rounds, when the workers are parked at the barrier
+     and the coordinator owns every feedback structure *)
+  let safe_point ~final =
+    match on_safe_point with
+    | None -> ()
+    | Some hook ->
+      hook ~final ~bus ~execs:!execs (fun () ->
+          capture_snapshot ~execs:!execs ~steps:!steps
+            ~mask_probes:!mask_probes_used ~cursor:!cursor ~rng
+            ~rng_counter:!rng_counter
+            ~elapsed:(Unix.gettimeofday () -. start_time)
+            ~queue:!queue ~best_for_branch ~coverage
+            ~weight_table:!weight_table ~witness_seeds:!witness_seeds ~occ
+            ~checkpoints:!checkpoints)
   in
-  execute_seeds_parallel ~enqueue:true initial_seeds;
+  emit_resumed ~bus ~metrics resume;
+  (* ---------------- initial seeds ---------------- *)
+  if resume = None then begin
+    let initial_seeds =
+      let fresh = ref [] in
+      for _ = 1 to config.initial_seeds do
+        fresh := new_seed ctx rng :: !fresh
+      done;
+      let all = config.initial_corpus @ List.rev !fresh in
+      List.filteri (fun i _ -> i < config.max_executions) all
+    in
+    execute_seeds_parallel ~enqueue:true initial_seeds
+  end;
   (* ---------------- black-box mode ---------------- *)
   if config.blackbox then
     while budget_left () do
+      safe_point ~final:false;
       let rem = config.max_executions - !execs in
       let n = Stdlib.min rem (jobs * 32) in
       let batch = ref [] in
@@ -986,7 +1282,6 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
       execute_seeds_parallel ~enqueue:false (List.rev !batch)
     done;
   (* ---------------- main loop ---------------- *)
-  let cursor = ref 0 in
   let zero_rounds = ref 0 in
   while budget_left () && Array.length !queue > 0 && !zero_rounds < 64 do
     incr rounds;
@@ -1130,8 +1425,16 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
          });
     Log.debug (fun m ->
         m "round %d: %d tasks, %d execs, coverage %d sides" !rounds k round_execs
-          (Coverage.covered_count coverage))
+          (Coverage.covered_count coverage));
+    safe_point ~final:false
   done;
+  safe_point ~final:true;
+  let stop_reason =
+    if !execs >= config.max_executions then Report.Budget_exhausted
+    else if time_exhausted () then Report.Time_exhausted
+    else if !zero_rounds >= 64 then Report.Stalled
+    else Report.Queue_exhausted
+  in
   let stats1 = Pool.stats pool in
   let domains =
     List.init jobs (fun i ->
@@ -1158,6 +1461,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
     corpus = Array.to_list !queue |> List.map (fun e -> e.seed);
     corpus_skipped = [];
     wall_seconds = Unix.gettimeofday () -. start_time;
+    stop_reason;
     parallel =
       Some
         {
@@ -1170,11 +1474,11 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics pool config
   }
 
 let run_parallel ?(config = Config.default) ?pool ?(sinks = []) ?metrics
-    (contract : Minisol.Contract.t) =
+    ?resume ?on_safe_point (contract : Minisol.Contract.t) =
   let jobs =
     match pool with Some p -> Pool.size p | None -> Stdlib.max 1 config.jobs
   in
-  if jobs <= 1 then run ~config ~sinks ?metrics contract
+  if jobs <= 1 then run ~config ~sinks ?metrics ?resume ?on_safe_point contract
   else begin
     let metrics =
       match metrics with Some m -> m | None -> Telemetry.Metrics.create ()
@@ -1185,12 +1489,13 @@ let run_parallel ?(config = Config.default) ?pool ?(sinks = []) ?metrics
     let bus = make_bus config ~total_sides sinks in
     let report =
       match pool with
-      | Some p -> run_parallel_on ~bus ~metrics p config contract
+      | Some p -> run_parallel_on ~bus ~metrics ?resume ?on_safe_point p config contract
       | None ->
         (* a pool created here (rather than passed in) also reports its
            steal events through the campaign's bus *)
         Pool.with_pool ~bus ~metrics ~jobs (fun p ->
-            run_parallel_on ~bus ~metrics p config contract)
+            run_parallel_on ~bus ~metrics ?resume ?on_safe_point p config
+              contract)
     in
     Telemetry.Bus.finalize bus;
     report

@@ -6,13 +6,71 @@
     random draw flows from one SplitMix64 stream, and the EVM substrate
     is itself deterministic. *)
 
+(** One seed-pool member as persisted in a {!snapshot}: the seed, its
+    cached execution feedback and any Algorithm-2 masks already paid
+    for. *)
+type snapshot_entry = {
+  sn_seed : Seed.t;
+  sn_path : (int * bool) list;  (** branch sides the seed covers *)
+  sn_nested : (int * bool) list;  (** nested branch hits (mask baselines) *)
+  sn_fdists : ((int * bool) * float) list;
+      (** best distance toward each frontier side *)
+  sn_masks : (int * Mask.t) list;  (** cached masks, by tx index *)
+}
+
+(** The complete mutable state of a campaign at a safe point — what
+    [lib/persist] serialises into a checkpoint and what [?resume] feeds
+    back in. Queue and distance pool share entries by physical identity
+    (mask caches mutate them in place), so both are stored as indices
+    into the deduplicated [sn_entries] pool; [sn_best] additionally
+    records its table's iteration order so a resumed campaign replays
+    the uninterrupted one bit-for-bit at [jobs = 1]. *)
+type snapshot = {
+  sn_execs : int;
+  sn_steps : int;
+  sn_mask_probes : int;  (** Algorithm-2 budget already consumed *)
+  sn_cursor : int;  (** round-robin selection cursor *)
+  sn_rng : int64;  (** {!Util.Rng.save} of the campaign stream *)
+  sn_rng_counter : int;  (** worker streams dispatched (parallel) *)
+  sn_elapsed : float;  (** wall seconds spent before the capture *)
+  sn_entries : snapshot_entry array;  (** deduplicated entry pool *)
+  sn_queue : int list;  (** selection queue, as pool indices *)
+  sn_best : ((int * bool) * float * int) list;
+      (** distance pool in table-iteration order: (frontier side, best
+          distance, pool index) *)
+  sn_coverage : Coverage.t;
+  sn_weights : ((int * bool) * float) list option;
+      (** Algorithm-3 weights; [None] when dynamic energy is off *)
+  sn_findings : (Oracles.Oracle.finding * Seed.t) list;
+      (** deduplicated findings with their witness seeds, oldest first *)
+  sn_occ : (Oracles.Oracle.key * int) list;  (** occurrence counts *)
+  sn_over_time : Report.checkpoint list;  (** coverage growth so far *)
+}
+
 val run :
   ?config:Config.t ->
   ?sinks:Telemetry.Sink.t list ->
   ?metrics:Telemetry.Metrics.t ->
+  ?resume:string * snapshot ->
+  ?on_safe_point:
+    (final:bool ->
+    bus:Telemetry.Bus.t ->
+    execs:int ->
+    (unit -> snapshot) ->
+    unit) ->
   Minisol.Contract.t ->
   Report.t
 (** Fuzz one contract until the execution budget is exhausted.
+
+    Persistence: [?on_safe_point] is invoked at every safe point — the
+    top of each selection round (or black-box batch) and once more,
+    with [final:true], when the loop exits. The thunk builds the
+    {!snapshot} only if called, so an idle cadence costs nothing. With
+    [?resume:(path, snapshot)] the campaign skips seed bootstrap,
+    restores every structure from the snapshot (the [path] only labels
+    the [Checkpoint_loaded] telemetry event), and continues; resumed
+    sequential campaigns replay the uninterrupted run exactly, modulo
+    wall-clock fields.
 
     Telemetry: the campaign emits {!Telemetry.Event.t} values to a bus
     assembled from [config.trace_path] / [config.status_interval] plus
@@ -27,6 +85,13 @@ val run_parallel :
   ?pool:Pool.t ->
   ?sinks:Telemetry.Sink.t list ->
   ?metrics:Telemetry.Metrics.t ->
+  ?resume:string * snapshot ->
+  ?on_safe_point:
+    (final:bool ->
+    bus:Telemetry.Bus.t ->
+    execs:int ->
+    (unit -> snapshot) ->
+    unit) ->
   Minisol.Contract.t ->
   Report.t
 (** Multicore campaign: seed-energy batches are sharded across a

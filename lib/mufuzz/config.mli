@@ -72,6 +72,21 @@ type t = {
   status_interval : float;
       (** seconds between live status lines on stderr; [0.] (the
           default) disables the status sink *)
+  max_seconds : float;
+      (** wall-clock budget, checked alongside [max_executions] in both
+          campaign loops; [0.] (the default) disables the time limit —
+          keeping the default campaign free of clock reads, hence
+          deterministic *)
+  checkpoint_dir : string option;
+      (** directory for crash-safe campaign checkpoints ([Persist]);
+          [None] (the default) disables checkpointing *)
+  checkpoint_every_execs : int;
+      (** write a checkpoint every N sequence executions (at the next
+          safe point); [0] disables the exec cadence *)
+  checkpoint_every_seconds : float;
+      (** also write when this many wall seconds have elapsed since the
+          last checkpoint; [0.] (the default) disables the time cadence *)
+  checkpoint_keep : int;  (** rotated checkpoints to keep on disk *)
 }
 
 val default : t
@@ -83,3 +98,16 @@ val with_budget : t -> int -> t
 val ablation_no_sequence : t -> t
 val ablation_no_mask : t -> t
 val ablation_no_energy : t -> t
+
+val sequence_mode_to_string : sequence_mode -> string
+
+val sequence_mode_of_string : string -> (sequence_mode, string) result
+
+val to_json : t -> Telemetry.Json.t
+(** Checkpoint codec: the full configuration, with the int64 RNG seed as
+    a decimal string and [initial_corpus] through the {!Seed} codec. *)
+
+val of_json : abi:Abi.func list -> Telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}. Strict: every field must be present, so a
+    checkpoint from a config shape this build does not know is rejected
+    rather than silently defaulted. *)

@@ -88,3 +88,75 @@ let trace_min_distance (trace : Evm.Trace.t) (pc, want_side) =
 
 let total_sides_known t =
   covered_count t + List.length (uncovered_frontier t)
+
+(* ---------------- JSON codec (campaign checkpoints) ---------------- *)
+
+module J = Telemetry.Json
+
+(* Iteration order of the tables is never observed (every reader sorts
+   or tests membership), so the codec is free to emit a canonical sorted
+   form — which also makes [to_json] byte-stable across save/load. *)
+let to_json t =
+  let branch_fields (pc, taken) = [ ("pc", J.Int pc); ("taken", J.Bool taken) ] in
+  let hits =
+    Hashtbl.fold (fun br n acc -> (br, n) :: acc) t.hits []
+    |> List.sort compare
+    |> List.map (fun (br, n) -> J.Obj (branch_fields br @ [ ("n", J.Int n) ]))
+  in
+  let dists =
+    Hashtbl.fold (fun br d acc -> (br, d) :: acc) t.dists []
+    |> List.sort compare
+    |> List.map (fun (br, d) -> J.Obj (branch_fields br @ [ ("d", J.Float d) ]))
+  in
+  J.Obj [ ("hits", J.List hits); ("dists", J.List dists) ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let branch_of j =
+    match
+      ( Option.bind (J.member "pc" j) J.to_int,
+        Option.bind (J.member "taken" j) J.to_bool )
+    with
+    | Some pc, Some taken -> Ok (pc, taken)
+    | _ -> Error "coverage: branch needs pc/taken"
+  in
+  let* hits =
+    match Option.bind (J.member "hits" j) J.to_list with
+    | None -> Error "coverage: missing hits list"
+    | Some l -> Ok l
+  in
+  let* dists =
+    match Option.bind (J.member "dists" j) J.to_list with
+    | None -> Error "coverage: missing dists list"
+    | Some l -> Ok l
+  in
+  let t = create () in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        let* br = branch_of entry in
+        match Option.bind (J.member "n" entry) J.to_int with
+        | Some n when n >= 1 ->
+          Hashtbl.replace t.hits br n;
+          Ok ()
+        | _ -> Error "coverage: hit entry needs n >= 1")
+      (Ok ()) hits
+  in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        let* br = branch_of entry in
+        match Option.bind (J.member "d" entry) J.to_float with
+        | Some d ->
+          if Hashtbl.mem t.hits br then
+            Error "coverage: dist entry for a covered side"
+          else begin
+            Hashtbl.replace t.dists br d;
+            Ok ()
+          end
+        | None -> Error "coverage: dist entry needs d")
+      (Ok ()) dists
+  in
+  Ok t

@@ -47,3 +47,11 @@ val trace_min_distance : Evm.Trace.t -> branch -> float option
 
 val total_sides_known : t -> int
 (** Number of distinct (pc, side) identities known = covered + frontier. *)
+
+val to_json : t -> Telemetry.Json.t
+(** Checkpoint codec: hit counts and frontier distances in canonical
+    sorted order, so equal coverage states render to identical bytes. *)
+
+val of_json : Telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}; enforces the invariant that distances are
+    only tracked for uncovered sides. *)

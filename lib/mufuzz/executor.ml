@@ -24,6 +24,7 @@ type run = {
   final_state : Evm.State.t;
   received_value : bool;
   executed_steps : int;
+  logical_steps : int;
 }
 
 (* Post-deploy world state memo. Every seed execution previously
@@ -170,11 +171,16 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
          ~help:"EVM opcodes dispatched (cached prefixes excluded)")
       !executed_steps
   | None -> ());
+  let tx_results = List.rev !results_rev in
   {
-    tx_results = List.rev !results_rev;
+    tx_results;
     final_state = !state;
     received_value = !received_value;
     executed_steps = !executed_steps;
+    (* cached-prefix traces are part of [tx_results] (snapshots store
+       them), so the logical total is computable without re-execution *)
+    logical_steps =
+      List.fold_left (fun acc (r : tx_result) -> acc + r.trace.steps) 0 tx_results;
   }
 
 let inspect ~static (run : run) =

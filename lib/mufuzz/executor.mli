@@ -28,6 +28,11 @@ type run = {
   executed_steps : int;
       (** EVM opcodes this call actually dispatched; transactions served
           from a cached prefix are excluded (mirrors [mufuzz_txs_total]) *)
+  logical_steps : int;
+      (** EVM opcodes across the whole sequence, cached prefixes
+          included — a pure function of the seed, independent of cache
+          warmth, so campaign step totals survive checkpoint/resume
+          unchanged *)
 }
 
 val run_seed :

@@ -48,6 +48,41 @@ let allows t kind ~pos =
 
 let allow_all len = { bits = Array.make (Stdlib.max len 1) all_bits; stride = 1 }
 
+(* ---------------- JSON codec (campaign checkpoints) ---------------- *)
+
+module J = Telemetry.Json
+
+(* Each position holds a 4-bit kind set, so one hex digit per position
+   is the natural wire form. *)
+let to_json t =
+  let buf = Buffer.create (Array.length t.bits) in
+  Array.iter (fun b -> Buffer.add_string buf (Printf.sprintf "%x" (b land all_bits))) t.bits;
+  J.Obj [ ("stride", J.Int t.stride); ("bits", J.String (Buffer.contents buf)) ]
+
+let of_json j =
+  match
+    ( Option.bind (J.member "stride" j) J.to_int,
+      Option.bind (J.member "bits" j) J.string_value )
+  with
+  | Some stride, Some s when stride >= 1 && String.length s >= 1 -> begin
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | _ -> -1
+    in
+    let bits = Array.make (String.length s) 0 in
+    let ok = ref true in
+    String.iteri
+      (fun i c ->
+        let d = digit c in
+        if d < 0 then ok := false else bits.(i) <- d)
+      s;
+    if !ok then Ok { bits; stride }
+    else Error "mask: bits must be lowercase hex digits"
+  end
+  | _ -> Error "mask: needs stride >= 1 and a non-empty bits string"
+
 let admitted_fraction t =
   let total = 4 * Array.length t.bits in
   let set =

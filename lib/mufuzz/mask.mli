@@ -37,3 +37,11 @@ val allow_all : int -> t
 
 val admitted_fraction : t -> float
 (** Fraction of (position, kind) pairs admitted — reporting/testing. *)
+
+val to_json : t -> Telemetry.Json.t
+(** Checkpoint codec: stride plus one hex digit (the 4-bit kind set) per
+    stream position. *)
+
+val of_json : Telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}: [of_json (to_json t)] yields a mask with
+    identical {!allows} behaviour. *)

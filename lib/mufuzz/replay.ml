@@ -42,13 +42,14 @@ let seed_of_string ~abi s =
   { Seed.txs = List.map (tx_of_line ~abi) lines }
 
 let save_corpus path seeds =
-  let oc = open_out path in
+  let buf = Buffer.create 1024 in
   List.iter
     (fun seed ->
-      output_string oc (seed_to_string seed);
-      output_char oc '\n')
+      Buffer.add_string buf (seed_to_string seed);
+      Buffer.add_char buf '\n')
     seeds;
-  close_out oc
+  (* temp + rename: a crash mid-save never tears an existing corpus *)
+  Util.Fileio.write_atomic path (Buffer.contents buf)
 
 let load_corpus ~abi path =
   let ic = open_in path in

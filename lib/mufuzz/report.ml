@@ -1,5 +1,24 @@
 type checkpoint = { execs : int; covered : int }
 
+type stop_reason =
+  | Budget_exhausted
+  | Time_exhausted
+  | Queue_exhausted
+  | Stalled
+
+let stop_reason_to_string = function
+  | Budget_exhausted -> "budget-exhausted"
+  | Time_exhausted -> "time-exhausted"
+  | Queue_exhausted -> "queue-exhausted"
+  | Stalled -> "stalled"
+
+let stop_reason_of_string = function
+  | "budget-exhausted" -> Ok Budget_exhausted
+  | "time-exhausted" -> Ok Time_exhausted
+  | "queue-exhausted" -> Ok Queue_exhausted
+  | "stalled" -> Ok Stalled
+  | s -> Error (Printf.sprintf "unknown stop reason %S" s)
+
 type domain_stat = {
   domain : int;
   d_execs : int;
@@ -31,6 +50,7 @@ type t = {
   corpus : Seed.t list;
   corpus_skipped : (int * string) list;
   wall_seconds : float;
+  stop_reason : stop_reason;
   parallel : parallel_stats option;
 }
 
@@ -71,6 +91,7 @@ let to_text t =
   pf "executions      : %d\n" t.executions;
   pf "evm steps       : %d\n" t.steps;
   pf "wall time       : %.2fs\n" t.wall_seconds;
+  pf "stopped because : %s\n" (stop_reason_to_string t.stop_reason);
   pf "branch coverage : %.1f%% (%d of %d sides)\n" (coverage_pct t)
     t.covered_branches t.total_branch_sides;
   pf "seeds in queue  : %d\n" t.seeds_in_queue;
@@ -167,6 +188,7 @@ let to_json t =
       ("contract", J.String t.contract_name);
       ("executions", J.Int t.executions);
       ("steps", J.Int t.steps);
+      ("stop_reason", J.String (stop_reason_to_string t.stop_reason));
       ("wall_seconds", J.Float t.wall_seconds);
       ( "execs_per_sec",
         J.Float

@@ -2,6 +2,18 @@
 
 type checkpoint = { execs : int; covered : int }
 
+(** Why the campaign loop exited. *)
+type stop_reason =
+  | Budget_exhausted  (** [max_executions] reached *)
+  | Time_exhausted  (** [max_seconds] wall-clock budget reached *)
+  | Queue_exhausted  (** no seed left to select (sequential loop) *)
+  | Stalled  (** parallel stall guard: too many zero-progress rounds *)
+
+val stop_reason_to_string : stop_reason -> string
+(** Kebab-case tag, as rendered in the JSON report. *)
+
+val stop_reason_of_string : string -> (stop_reason, string) result
+
 type domain_stat = {
   domain : int;  (** worker domain id *)
   d_execs : int;  (** sequence executions this domain performed *)
@@ -44,6 +56,7 @@ type t = {
       (** corrupt blocks the corpus loader skipped ([(block, reason)]);
           surfaces in [to_json] as the ["skipped"] field *)
   wall_seconds : float;
+  stop_reason : stop_reason;  (** why the loop exited *)
   parallel : parallel_stats option;
       (** per-domain throughput, [None] for sequential campaigns *)
 }

@@ -119,3 +119,54 @@ let pp fmt t =
           t.txs))
 
 let show t = Format.asprintf "%a" pp t
+
+(* ---------------- JSON codec (campaign checkpoints) ---------------- *)
+
+module J = Telemetry.Json
+
+let to_json t =
+  J.List
+    (List.map
+       (fun tx ->
+         J.Obj
+           [
+             ("fn", J.String tx.fn.Abi.name);
+             ("sender", J.Int tx.sender);
+             ("stream", J.String (Util.Hex.encode tx.stream));
+           ])
+       t.txs)
+
+let of_json ~abi j =
+  let ( let* ) = Result.bind in
+  let tx_of_json j =
+    match
+      ( Option.bind (J.member "fn" j) J.string_value,
+        Option.bind (J.member "sender" j) J.to_int,
+        Option.bind (J.member "stream" j) J.string_value )
+    with
+    | Some name, Some sender, Some hex ->
+      let* fn =
+        match List.find_opt (fun (f : Abi.func) -> f.Abi.name = name) abi with
+        | Some fn -> Ok fn
+        | None -> Error (Printf.sprintf "seed: unknown function %s" name)
+      in
+      if sender < 0 then Error (Printf.sprintf "seed: bad sender %d" sender)
+      else begin
+        match Util.Hex.decode hex with
+        | stream -> Ok { fn; sender; stream }
+        | exception Invalid_argument m -> Error ("seed: " ^ m)
+      end
+    | _ -> Error "seed: tx needs fn/sender/stream fields"
+  in
+  match J.to_list j with
+  | None -> Error "seed: expected a list of transactions"
+  | Some txs ->
+    let* txs =
+      List.fold_left
+        (fun acc tx ->
+          let* acc = acc in
+          let* tx = tx_of_json tx in
+          Ok (tx :: acc))
+        (Ok []) txs
+    in
+    Ok { txs = List.rev txs }

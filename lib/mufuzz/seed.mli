@@ -51,3 +51,12 @@ val call_path : t -> upto:int -> string list
 
 val pp : Format.formatter -> t -> unit
 val show : t -> string
+
+val to_json : t -> Telemetry.Json.t
+(** Checkpoint codec: a list of [{fn; sender; stream}] objects with the
+    byte stream hex-encoded. Functions serialise by name and resolve
+    against the contract ABI on load. *)
+
+val of_json : abi:Abi.func list -> Telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}. [of_json ~abi (to_json t) = Ok t] whenever
+    every transaction's function is present in [abi]. *)

@@ -1,0 +1,53 @@
+(** The checkpoint cadence driver.
+
+    Bridges a campaign's safe points (see
+    [Mufuzz.Campaign.run ~on_safe_point]) to the rotated {!Store}: at
+    each safe point it decides whether a write is due — final safe
+    point, ≥ [checkpoint_every_execs] executions, or ≥
+    [checkpoint_every_seconds] seconds since the last write — and only
+    then forces the snapshot thunk and persists. Successful writes emit
+    [Checkpoint_written] on the campaign bus and bump
+    [mufuzz_checkpoint_written_total]; write failures are logged and
+    swallowed, never killing the campaign they were protecting. *)
+
+type t
+
+val create :
+  ?metrics:Telemetry.Metrics.t ->
+  ?start_execs:int ->
+  tool:string ->
+  contract:Minisol.Contract.t ->
+  dir:string ->
+  Mufuzz.Config.t ->
+  t
+(** Cadence and rotation come from the config's [checkpoint_*] fields.
+    [start_execs] (default 0) is the execution count already persisted
+    — pass the snapshot's count when resuming so the first safe point
+    does not rewrite the checkpoint just loaded. *)
+
+val of_config :
+  ?metrics:Telemetry.Metrics.t ->
+  ?start_execs:int ->
+  tool:string ->
+  contract:Minisol.Contract.t ->
+  Mufuzz.Config.t ->
+  t option
+(** [None] when [config.checkpoint_dir] is unset (persistence off). *)
+
+val on_safe_point :
+  t ->
+  final:bool ->
+  bus:Telemetry.Bus.t ->
+  execs:int ->
+  (unit -> Mufuzz.Campaign.snapshot) ->
+  unit
+
+val hook :
+  t ->
+  final:bool ->
+  bus:Telemetry.Bus.t ->
+  execs:int ->
+  (unit -> Mufuzz.Campaign.snapshot) ->
+  unit
+(** [hook t] partially applied is exactly the shape
+    [Campaign.run ~on_safe_point] expects. *)

@@ -1,0 +1,72 @@
+(* A checkpoint directory: atomically written, rotated files named by
+   execution count so lexicographic order equals campaign order. *)
+
+type t = { dir : string; keep : int }
+
+let file_name execs = Printf.sprintf "checkpoint-%012d.json" execs
+
+let prefix = "checkpoint-"
+
+let suffix = ".json"
+
+let is_checkpoint_file name =
+  let lp = String.length prefix and ls = String.length suffix in
+  String.length name > lp + ls
+  && String.sub name 0 lp = prefix
+  && String.sub name (String.length name - ls) ls = suffix
+  && String.for_all
+       (fun c -> c >= '0' && c <= '9')
+       (String.sub name lp (String.length name - lp - ls))
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let create ~dir ~keep =
+  mkdirs dir;
+  { dir; keep = max 1 keep }
+
+(* Checkpoint files, oldest first. Names embed a zero-padded exec
+   count, so string sort is chronological sort. *)
+let list t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter is_checkpoint_file
+    |> List.sort compare
+    |> List.map (Filename.concat t.dir)
+
+let rotate t =
+  let files = list t in
+  let excess = List.length files - t.keep in
+  if excess > 0 then
+    List.iteri
+      (fun i path -> if i < excess then try Sys.remove path with Sys_error _ -> ())
+      files
+
+let save t (ckpt : Checkpoint.t) =
+  let path = Filename.concat t.dir (file_name ckpt.snapshot.sn_execs) in
+  Checkpoint.save path ckpt;
+  rotate t;
+  path
+
+let load_latest dir =
+  let store = { dir; keep = max_int } in
+  match List.rev (list store) with
+  | [] -> Error (Printf.sprintf "no checkpoint files in %s" dir)
+  | newest_first ->
+    (* Fall back through older checkpoints if the newest is damaged —
+       e.g. a partially copied directory. *)
+    let rec try_load last_err = function
+      | [] -> Error last_err
+      | path :: rest -> (
+        match Checkpoint.load path with
+        | Ok ckpt -> Ok (path, ckpt)
+        | Error e ->
+          try_load (Printf.sprintf "%s: %s" (Filename.basename path) e) rest)
+    in
+    try_load "unreachable" newest_first

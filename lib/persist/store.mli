@@ -1,0 +1,30 @@
+(** Rotated on-disk checkpoint store.
+
+    One campaign ↦ one directory. Files are named
+    [checkpoint-<execs, zero-padded>.json] so lexicographic order is
+    campaign order; each write is atomic (temp + rename) and the store
+    keeps only the newest [keep] files. *)
+
+type t
+
+val file_name : int -> string
+(** [file_name execs] — ["checkpoint-%012d.json"]. *)
+
+val is_checkpoint_file : string -> bool
+(** Whether a basename matches the store's naming scheme. *)
+
+val create : dir:string -> keep:int -> t
+(** Creates [dir] (and parents) if missing. [keep] is clamped to
+    ≥ 1. *)
+
+val list : t -> string list
+(** Absolute paths of the store's checkpoint files, oldest first. *)
+
+val save : t -> Checkpoint.t -> string
+(** Writes the checkpoint atomically, prunes down to [keep] files, and
+    returns the written path. May raise [Sys_error]. *)
+
+val load_latest : string -> (string * Checkpoint.t, string) result
+(** Loads the newest readable checkpoint in [dir], falling back to
+    older files when the newest is corrupt; returns its path too.
+    [Error] when the directory holds no loadable checkpoint. *)

@@ -7,6 +7,8 @@ type t =
   | Finding_raised of { cls : string; pc : int; tx_index : int }
   | Pool_steal of { thief : int; victim : int }
   | Batch_merge of { round : int; execs : int; covered : int }
+  | Checkpoint_written of { execs : int; path : string }
+  | Checkpoint_loaded of { execs : int; path : string }
 
 let kind = function
   | Exec_completed _ -> "exec-completed"
@@ -17,6 +19,8 @@ let kind = function
   | Finding_raised _ -> "finding-raised"
   | Pool_steal _ -> "pool-steal"
   | Batch_merge _ -> "batch-merge"
+  | Checkpoint_written _ -> "checkpoint-written"
+  | Checkpoint_loaded _ -> "checkpoint-loaded"
 
 let to_json ev =
   let tag = ("event", Json.String (kind ev)) in
@@ -36,6 +40,10 @@ let to_json ev =
     Json.Obj [ tag; ("thief", Int thief); ("victim", Int victim) ]
   | Batch_merge { round; execs; covered } ->
     Json.Obj [ tag; ("round", Int round); ("execs", Int execs); ("covered", Int covered) ]
+  | Checkpoint_written { execs; path } ->
+    Json.Obj [ tag; ("execs", Int execs); ("path", String path) ]
+  | Checkpoint_loaded { execs; path } ->
+    Json.Obj [ tag; ("execs", Int execs); ("path", String path) ]
 
 let of_json json =
   let field name conv =
@@ -86,6 +94,14 @@ let of_json json =
     let* execs = int "execs" in
     let* covered = int "covered" in
     Ok (Batch_merge { round; execs; covered })
+  | "checkpoint-written" ->
+    let* execs = int "execs" in
+    let* path = str "path" in
+    Ok (Checkpoint_written { execs; path })
+  | "checkpoint-loaded" ->
+    let* execs = int "execs" in
+    let* path = str "path" in
+    Ok (Checkpoint_loaded { execs; path })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
 let pp fmt ev = Format.pp_print_string fmt (Json.to_string (to_json ev))

@@ -29,6 +29,12 @@ type t =
       (** worker [thief] stole a task from worker [victim]'s deque *)
   | Batch_merge of { round : int; execs : int; covered : int }
       (** the parallel coordinator merged one round of worker results *)
+  | Checkpoint_written of { execs : int; path : string }
+      (** the persistence driver wrote a campaign checkpoint to [path]
+          at execution count [execs] *)
+  | Checkpoint_loaded of { execs : int; path : string }
+      (** a campaign resumed from the checkpoint at [path], captured at
+          execution count [execs] *)
 
 val kind : t -> string
 (** The ["event"] tag, kebab-case: ["exec-completed"], … *)

@@ -173,11 +173,7 @@ let of_string s =
   let* json = J.of_string s in
   of_json json
 
-let save path t =
-  let oc = open_out path in
-  output_string oc (to_string t);
-  output_char oc '\n';
-  close_out oc
+let save path t = Util.Fileio.write_atomic path (to_string t ^ "\n")
 
 let load path =
   match open_in_bin path with

@@ -1,0 +1,15 @@
+(** Crash-safe file writes.
+
+    Everything the fuzzer persists across runs — corpus blocks, repro
+    artifacts, campaign checkpoints — goes through {!write_atomic} so a
+    SIGKILL mid-write can never leave a torn file under the final name:
+    readers see either the old content or the new, never a prefix. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path content] writes [content] to a fresh temp file in
+    [Filename.dirname path], flushes it, and [Sys.rename]s it over
+    [path] (atomic within one filesystem). On any error the temp file is
+    removed and the exception re-raised; [path] is untouched. *)
+
+val read_file : string -> string
+(** [read_file path] is the whole (binary) content of [path]. *)

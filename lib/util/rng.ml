@@ -6,6 +6,10 @@ let create seed = { state = seed }
 
 let copy t = { state = t.state }
 
+let save t = t.state
+
+let restore state = { state }
+
 (* SplitMix64 step (Steele et al., "Fast splittable pseudorandom number
    generators"): advance by the golden-ratio gamma, then mix. *)
 let next_int64 t =

@@ -14,6 +14,17 @@ val copy : t -> t
 (** [copy t] duplicates the generator state; the copy evolves
     independently. *)
 
+val save : t -> int64
+(** [save t] exports the full generator state. [restore (save t)] is a
+    generator that produces exactly the stream [t] would from this point
+    on — the pair is what campaign checkpoints persist. *)
+
+val restore : int64 -> t
+(** [restore state] rebuilds a generator from a {!save}d state. Unlike
+    {!create}, which treats its argument as a fresh seed, [restore]
+    resumes mid-stream. (For SplitMix64 the two coincide, but callers
+    must not rely on that.) *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a statistically independent child
     generator, for handing to subcomponents without sharing state. *)

@@ -414,6 +414,7 @@ let report_tests =
                 corpus = [];
                 corpus_skipped = [];
                 wall_seconds = 0.0;
+                stop_reason = Mufuzz.Report.Budget_exhausted;
                 parallel = None;
               }
             in

@@ -116,6 +116,12 @@ let event_gen =
       map3
         (fun round execs covered -> E.Batch_merge { round; execs; covered })
         nat nat nat;
+      map2
+        (fun execs path -> E.Checkpoint_written { execs; path })
+        nat (string_size ~gen:printable (int_range 0 30));
+      map2
+        (fun execs path -> E.Checkpoint_loaded { execs; path })
+        nat (string_size ~gen:printable (int_range 0 30));
     ]
 
 let event_tests =
@@ -146,9 +152,11 @@ let event_tests =
               E.Finding_raised { cls = "RE"; pc = 0; tx_index = 0 };
               E.Pool_steal { thief = 1; victim = 0 };
               E.Batch_merge { round = 1; execs = 1; covered = 1 };
+              E.Checkpoint_written { execs = 1; path = "ck/a.json" };
+              E.Checkpoint_loaded { execs = 1; path = "ck/a.json" };
             ]
         in
-        Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare kinds));
+        Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare kinds));
         List.iter
           (fun k ->
             Alcotest.(check bool) (k ^ " is kebab") true
