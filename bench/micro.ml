@@ -83,23 +83,39 @@ let parallel () =
   in
   let base = match rows with (_, _, _, r) :: _ -> r | [] -> 1.0 in
   let host_cores = Domain.recommended_domain_count () in
+  (* speedup-per-core normalises by the cores a job count can actually
+     use: jobs=4 on a 2-core host is judged against 2 cores, not 4 *)
+  let per_core jobs speedup =
+    speedup /. float_of_int (Stdlib.max 1 (Stdlib.min jobs host_cores))
+  in
+  List.iter
+    (fun (jobs, _, _, rate) ->
+      if jobs > 1 then
+        Printf.printf "  jobs=%d  speedup %.2fx  (%.2fx per usable core)\n%!"
+          jobs (rate /. base)
+          (per_core jobs (rate /. base)))
+    rows;
   let json =
     Printf.sprintf
       "{\n\
       \  \"benchmark\": \"MuFuzz campaign on crowdsale.sol, budget %d, seed %Ld\",\n\
       \  \"host_cores\": %d,\n\
+      \  \"round_batch\": %d,\n\
       \  \"note\": \"speedup is bounded by host_cores; on a single-core host all job counts time-slice one CPU\",\n\
       \  \"results\": [\n%s\n\
       \  ]\n\
        }\n"
       budget Mufuzz.Config.default.rng_seed host_cores
+      Mufuzz.Config.default.round_batch
       (String.concat ",\n"
          (List.map
             (fun (jobs, execs, wall, rate) ->
               Printf.sprintf
                 "    { \"jobs\": %d, \"execs\": %d, \"wall_seconds\": %.3f, \
-                 \"execs_per_sec\": %.1f, \"speedup\": %.2f }"
-                jobs execs wall rate (rate /. base))
+                 \"execs_per_sec\": %.1f, \"speedup\": %.2f, \
+                 \"speedup_per_core\": %.2f }"
+                jobs execs wall rate (rate /. base)
+                (per_core jobs (rate /. base)))
             rows))
   in
   Exp.write_file "BENCH_parallel.json" json

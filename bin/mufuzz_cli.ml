@@ -50,6 +50,14 @@ let jobs_arg =
                sequential loop; N>1 shards seed-energy batches across N \
                cores, merging coverage at batch boundaries.")
 
+let round_batch_arg =
+  Arg.(value & opt int Mufuzz.Config.default.round_batch
+       & info [ "round-batch" ] ~docv:"N"
+           ~doc:"Seeds each worker domain fuzzes per parallel round. Larger \
+                 values amortise coordination (fewer merge barriers) at the \
+                 cost of staler worker coverage snapshots; ignored at \
+                 --jobs 1.")
+
 let tool_arg =
   Arg.(value & opt string "MuFuzz" & info [ "tool" ] ~docv:"TOOL"
          ~doc:"Fuzzer profile: MuFuzz, sFuzz, ConFuzzius, Smartian, IR-Fuzz.")
@@ -155,9 +163,9 @@ let write_metrics_file metrics = function
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
-  let run file budget seed jobs tool disabled out do_minimize corpus_in
-      corpus_out json trace status_interval metrics_out strict_corpus
-      artifacts_dir max_seconds checkpoint_dir checkpoint_every
+  let run file budget seed jobs round_batch tool disabled out do_minimize
+      corpus_in corpus_out json trace status_interval metrics_out
+      strict_corpus artifacts_dir max_seconds checkpoint_dir checkpoint_every
       checkpoint_seconds checkpoint_keep verbose =
     setup_logs verbose;
     let contract = load file in
@@ -170,7 +178,8 @@ let fuzz_cmd =
     in
     let config =
       { Mufuzz.Config.default with max_executions = budget; rng_seed = seed;
-        jobs = Stdlib.max 1 jobs; trace_path = trace;
+        jobs = Stdlib.max 1 jobs;
+        round_batch = Stdlib.max 1 round_batch; trace_path = trace;
         strict_corpus;
         status_interval = Stdlib.max 0.0 status_interval;
         max_seconds = Stdlib.max 0.0 max_seconds;
@@ -317,7 +326,8 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a contract and report coverage and findings.")
-    Term.(const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ tool_arg
+    Term.(const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg
+          $ round_batch_arg $ tool_arg
           $ ablation_arg $ out_arg $ minimize_arg $ corpus_in_arg $ corpus_out_arg
           $ json_arg $ trace_arg $ status_interval_arg $ metrics_arg
           $ strict_corpus_arg $ artifacts_arg $ max_seconds_arg

@@ -218,6 +218,18 @@ let mem_for_depth depth =
     !pool.(depth) <- Some m;
     m
 
+(* Pre-fault the per-domain frame pools. The first few transactions a
+   fresh domain executes otherwise each pay a pool-growth allocation
+   (1024-cell stack + memory arena per call depth); batch executors call
+   this once at context setup so the steady-state loop never grows a
+   pool. Purely an allocation-timing change — execution results are
+   untouched. *)
+let preheat ?(depth = 8) () =
+  for d = 0 to depth - 1 do
+    ignore (stack_for_depth d);
+    ignore (mem_for_depth d)
+  done
+
 (* SHA3 memo. Fuzzing re-executes the same storage-key hashes (mapping
    slots for a small sender pool) millions of times; Keccak is pure, so
    memoizing is observationally invisible. Only short inputs are cached

@@ -47,6 +47,12 @@ val default_config : config
 val attacker_address : State.address
 (** Conventional address installed for the simulated attacker. *)
 
+val preheat : ?depth:int -> unit -> unit
+(** Pre-fault this domain's pooled frame stacks and memories for call
+    depths [0 .. depth - 1] (default 8), so a batch executor's first
+    transactions don't pay pool-growth allocations. Results of
+    subsequent {!execute} calls are unchanged. *)
+
 val execute :
   ?config:config ->
   block:block_env ->

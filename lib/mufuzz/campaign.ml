@@ -465,14 +465,19 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
   let cache =
     if config.state_caching then Some (State_cache.create ~metrics ()) else None
   in
+  (* one executor context for the whole campaign: telemetry handles
+     resolve once, per-execution counts accumulate locally and flush at
+     safe points / campaign end instead of per execution *)
+  let xctx =
+    Executor.make_ctx ~contract ~gas:config.gas_per_tx
+      ~n_senders:config.n_senders ~attacker:config.attacker_enabled ?cache
+      ~metrics ()
+  in
   emit_resumed ~bus ~metrics resume;
   (* Execute a seed, fold its feedback into every table, return the run
      plus whether it covered a new branch side. *)
   let exec_and_observe seed =
-    let run =
-      Executor.run_seed ~contract ~gas:config.gas_per_tx ~n_senders:config.n_senders
-        ~attacker:config.attacker_enabled ?cache ~metrics seed
-    in
+    let run = Executor.run_in_ctx xctx seed in
     incr execs;
     (* logical steps (cached prefixes included): a pure function of the
        executed seeds, so the report total survives checkpoint/resume
@@ -663,6 +668,8 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
      The snapshot is built lazily — only when the hook decides the
      cadence is due does any copying happen. *)
   let safe_point ~final =
+    (* metrics sinks observing at the safe point see exact totals *)
+    Executor.flush xctx;
     match on_safe_point with
     | None -> ()
     | Some hook ->
@@ -833,30 +840,27 @@ type task_result = {
   t_cov : Coverage.t;
 }
 
-(* One seed-energy batch, run on a worker domain. Mirrors the inner
-   energy loop of [run] exactly, with the global budget replaced by the
-   reserved [quota], the global mask-probe budget by [mask_allowance],
-   and freshness judged against the private [cov] snapshot. *)
-let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
-    ~mask_allowance ~best_snapshot ~cov rng worker =
+(* One worker-round group: a slice of the round's chosen seed-energy
+   pairs, run on a single worker domain. Mirrors the inner energy loop
+   of [run] exactly for each entry in turn, with the global budget
+   replaced by the reserved [quota], the global mask-probe budget by
+   [mask_allowance], and freshness judged against the private [cov]
+   snapshot. Shipping [round_batch] entries per task amortises one
+   round's dispatch, snapshot and merge cost over several seeds; all
+   execution goes through the worker's persistent context, so telemetry
+   reaches the shared registry once per task (the coordinator accounts
+   the campaign-level exec/probe counters at merge). *)
+let fuzz_group_task ctx ~bus ~xctxs ~group ~quota ~mask_allowance
+    ~best_snapshot ~cov rng worker =
   let config = ctx.x_config in
-  (* handles resolve once per task; updates inside the loop are
-     lock-free atomics, shared with every sibling domain *)
-  let m_execs = Telemetry.Metrics.counter metrics "mufuzz_executions_total" in
-  let m_probes = Telemetry.Metrics.counter metrics "mufuzz_mask_probes_total" in
   let execs = ref 0 and steps = ref 0 and probes = ref 0 in
   let cands = ref [] and findings = ref [] and weights = ref [] in
   let quota_left () = !execs < quota in
-  let cache = caches.(worker) in
+  let xctx = xctxs.(worker) in
   let exec_and_observe seed =
-    let run =
-      Executor.run_seed ~contract:ctx.x_contract ~gas:config.gas_per_tx
-        ~n_senders:config.n_senders ~attacker:config.attacker_enabled ?cache
-        ~metrics seed
-    in
+    let run = Executor.run_in_ctx xctx seed in
     incr execs;
     steps := !steps + run.Executor.logical_steps;
-    Telemetry.Metrics.incr m_execs;
     let fresh =
       List.fold_left
         (fun fresh (r : Executor.tx_result) -> Coverage.record cov r.trace || fresh)
@@ -884,7 +888,7 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
         run.tx_results;
     (run, fresh)
   in
-  let get_mask tx_index =
+  let get_mask (entry : entry) tx_index =
     match Hashtbl.find_opt entry.masks tx_index with
     | Some m -> Some m
     | None when !probes >= mask_allowance -> None
@@ -929,7 +933,6 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
             ~max_probes:config.mask_max_probes ~probe tx.stream
         in
         let spent = !probes - probes_before in
-        Telemetry.Metrics.add m_probes spent;
         Telemetry.Bus.emit bus
           (Telemetry.Event.Mask_updated { tx_index; probes = spent });
         if Hashtbl.length entry.masks < config.mask_cache_max then
@@ -937,6 +940,7 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
         Some m
       end
   in
+  let fuzz_entry (entry, energy) =
   let remaining = ref energy in
   while !remaining > 0 && quota_left () do
     let ntx = List.length entry.seed.txs in
@@ -945,7 +949,7 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
     let stream = tx.Seed.stream in
     let mask =
       if config.mask_guided && (entry.nested_hits <> [] || entry.frontier_dists <> [])
-      then get_mask tx_index
+      then get_mask entry tx_index
       else None
     in
     let pos = Util.Rng.int rng (Stdlib.max 1 (String.length stream)) in
@@ -994,7 +998,10 @@ let fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
       end
       else remaining := 0
     end
-  done;
+  done
+  in
+  List.iter fuzz_entry group;
+  Executor.flush xctx;
   {
     t_worker = worker;
     t_execs = !execs;
@@ -1087,9 +1094,23 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
     incr rng_counter;
     Util.Rng.derive config.rng_seed k
   in
-  let caches =
-    Array.init jobs (fun _ ->
-        if config.state_caching then Some (State_cache.create ~metrics ()) else None)
+  (* one cache shard and one executor context per worker domain, built
+     once for the whole campaign: the hot execution path touches only
+     domain-local state, and per-execution telemetry reaches the shared
+     registry in one flush per task (the pool barrier is the hand-off
+     edge that makes coordinator-built contexts safe to hand to
+     workers) *)
+  let shard_cache =
+    if config.state_caching then
+      Some (State_cache.create_sharded ~metrics ~shards:jobs ())
+    else None
+  in
+  let xctxs =
+    Array.init jobs (fun w ->
+        Executor.make_ctx ~contract:ctx.x_contract ~gas:config.gas_per_tx
+          ~n_senders:config.n_senders ~attacker:config.attacker_enabled
+          ?cache:(Option.map (fun s -> State_cache.shard s w) shard_cache)
+          ~metrics ())
   in
   let stats0 = Pool.stats pool in
   let execs_by_worker = Array.make jobs 0 in
@@ -1214,15 +1235,17 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
         Array.init ntasks (fun j ->
             let mine = List.filter (fun (i, _) -> i mod ntasks = j) indexed in
             fun worker ->
-              List.map
-                (fun (i, seed) ->
-                  let run =
-                    Executor.run_seed ~contract:ctx.x_contract ~gas:config.gas_per_tx
-                      ~n_senders:config.n_senders ~attacker:config.attacker_enabled
-                      ?cache:caches.(worker) ~metrics seed
-                  in
-                  (i, worker, seed, run))
-                mine)
+              (* one dispatch pass through the worker's context: pooled
+                 frames, resolved metric handles and the cache shard are
+                 reused across the slice, telemetry flushed once *)
+              let xctx = xctxs.(worker) in
+              let out =
+                List.map
+                  (fun (i, seed) -> (i, worker, seed, Executor.run_in_ctx xctx seed))
+                  mine
+              in
+              Executor.flush xctx;
+              out)
       in
       let results =
         Pool.run_batch pool tasks |> Array.to_list |> List.concat
@@ -1286,7 +1309,11 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
   while budget_left () && Array.length !queue > 0 && !zero_rounds < 64 do
     incr rounds;
     let rem = config.max_executions - !execs in
-    let want = Stdlib.min jobs rem in
+    (* coarse rounds: [round_batch] seeds per worker per merge barrier,
+       so a 3000-exec campaign crosses a handful of barriers instead of
+       dozens — per-round coordination (snapshot copies, RNG derivation,
+       parking/waking the pool) is the dominant parallel overhead *)
+    let want = Stdlib.min (jobs * Stdlib.max 1 config.round_batch) rem in
     (* up to [want] distinct seeds, picked with the sequential policy *)
     let chosen = ref [] in
     let attempts = ref 0 in
@@ -1313,45 +1340,60 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
     done;
     let chosen = List.rev !chosen in
     let k = List.length chosen in
-    let base_quota = rem / k and extra = rem mod k in
+    let ntasks = Stdlib.min (Stdlib.min jobs k) rem in
+    let base_quota = rem / ntasks and extra = rem mod ntasks in
     let mask_cap =
       int_of_float
         (config.mask_budget_fraction *. float_of_int config.max_executions)
     in
-    let mask_share = Stdlib.max 0 (mask_cap - !mask_probes_used) / k in
+    let mask_share = Stdlib.max 0 (mask_cap - !mask_probes_used) / ntasks in
     let best_snapshot : (int * bool, float) Hashtbl.t =
       Hashtbl.create (Stdlib.max 16 (Hashtbl.length best_for_branch))
     in
     Hashtbl.iter (fun br (d, _) -> Hashtbl.replace best_snapshot br d)
       best_for_branch;
-    let tasks =
-      List.mapi
-        (fun i entry ->
+    (* energies assigned in choice order against the round-start weight
+       table, then the chosen seeds are dealt round-robin into one group
+       per task *)
+    let pairs =
+      List.map
+        (fun entry ->
           let energy =
             Energy.assign ~dynamic:config.dynamic_energy ~base:config.base_energy
               ~max_energy:config.max_energy ~weights:!weight_table ~path:entry.path
           in
-          let quota = base_quota + (if i < extra then 1 else 0) in
           Telemetry.Bus.emit bus (Telemetry.Event.Energy_reassigned { energy });
+          (entry, energy))
+        chosen
+    in
+    let groups = Array.make ntasks [] in
+    List.iteri
+      (fun i p -> groups.(i mod ntasks) <- p :: groups.(i mod ntasks))
+      pairs;
+    let tasks =
+      Array.init ntasks (fun i ->
+          let group = List.rev groups.(i) in
+          let quota = base_quota + (if i < extra then 1 else 0) in
           let wrng = next_worker_rng () in
           let cov = Coverage.copy coverage in
           fun worker ->
-            fuzz_entry_task ctx ~bus ~metrics ~caches ~entry ~energy ~quota
+            fuzz_group_task ctx ~bus ~xctxs ~group ~quota
               ~mask_allowance:mask_share ~best_snapshot ~cov wrng worker)
-        chosen
-      |> Array.of_list
     in
-    let results = Pool.run_batch pool tasks in
-    let round_execs = Array.fold_left (fun a r -> a + r.t_execs) 0 results in
-    if round_execs = 0 then incr zero_rounds else zero_rounds := 0;
     (* workers never emit New_branch_side (their snapshots race); the
        coordinator diffs the merged covered set per round instead *)
     let covered_before =
       if Telemetry.Bus.enabled bus then Coverage.covered coverage else []
     in
-    let t0 = Unix.gettimeofday () in
-    Array.iter
-      (fun tr ->
+    let round_execs = ref 0 in
+    (* incremental merge: task i folds in (in submission order, so the
+       merge sequence is deterministic) while tasks i+1.. are still
+       running on the workers — no stop-the-world barrier *)
+    Pool.run_batch_iter pool tasks ~merge:(fun _i tr ->
+        let t0 = Unix.gettimeofday () in
+        round_execs := !round_execs + tr.t_execs;
+        Telemetry.Metrics.add meters.m_execs tr.t_execs;
+        Telemetry.Metrics.add meters.m_probes tr.t_probes;
         execs := !execs + tr.t_execs;
         steps := !steps + tr.t_steps;
         execs_by_worker.(tr.t_worker) <-
@@ -1397,9 +1439,9 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
         List.iter (fun (f, seed) -> note_findings seed [ f ]) tr.t_findings;
         merge_weights tr.t_weights;
         Coverage.merge ~into:coverage tr.t_cov;
-        checkpoint ())
-      results;
-    merge_seconds := !merge_seconds +. (Unix.gettimeofday () -. t0);
+        checkpoint ();
+        merge_seconds := !merge_seconds +. (Unix.gettimeofday () -. t0));
+    if !round_execs = 0 then incr zero_rounds else zero_rounds := 0;
     Telemetry.Metrics.set meters.m_covered
       (float_of_int (Coverage.covered_count coverage));
     if Telemetry.Bus.enabled bus then begin
@@ -1420,11 +1462,12 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
       (Telemetry.Event.Batch_merge
          {
            round = !rounds;
-           execs = round_execs;
+           execs = !round_execs;
            covered = Coverage.covered_count coverage;
          });
     Log.debug (fun m ->
-        m "round %d: %d tasks, %d execs, coverage %d sides" !rounds k round_execs
+        m "round %d: %d seeds in %d tasks, %d execs, coverage %d sides" !rounds
+          k ntasks !round_execs
           (Coverage.covered_count coverage));
     safe_point ~final:false
   done;
@@ -1467,6 +1510,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
         {
           Report.jobs;
           rounds = !rounds;
+          round_batch = Stdlib.max 1 config.round_batch;
           merge_seconds = !merge_seconds;
           steals = stats1.steals - stats0.steals;
           domains;

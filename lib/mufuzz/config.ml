@@ -3,6 +3,7 @@ type sequence_mode = Seq_random | Seq_dataflow | Seq_dataflow_repeat
 type t = {
   rng_seed : int64;
   jobs : int;
+  round_batch : int;
   max_executions : int;
   gas_per_tx : int;
   n_senders : int;
@@ -40,6 +41,7 @@ let default =
   {
     rng_seed = 42L;
     jobs = 1;
+    round_batch = 2;
     max_executions = 2000;
     gas_per_tx = 1_000_000;
     n_senders = 3;
@@ -98,6 +100,7 @@ let to_json t =
       (* int64 seeds exceed the 63-bit [J.Int] range; ship as decimal *)
       ("rng_seed", J.String (Int64.to_string t.rng_seed));
       ("jobs", J.Int t.jobs);
+      ("round_batch", J.Int t.round_batch);
       ("max_executions", J.Int t.max_executions);
       ("gas_per_tx", J.Int t.gas_per_tx);
       ("n_senders", J.Int t.n_senders);
@@ -158,6 +161,7 @@ let of_json ~abi j =
     | None -> Error "config: rng_seed is not a 64-bit decimal"
   in
   let* jobs = int "jobs" in
+  let* round_batch = int "round_batch" in
   let* max_executions = int "max_executions" in
   let* gas_per_tx = int "gas_per_tx" in
   let* n_senders = int "n_senders" in
@@ -201,6 +205,7 @@ let of_json ~abi j =
     {
       rng_seed;
       jobs;
+      round_batch;
       max_executions;
       gas_per_tx;
       n_senders;

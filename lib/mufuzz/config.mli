@@ -18,6 +18,12 @@ type t = {
   jobs : int;
       (** worker domains for {!Campaign.run_parallel}; [1] (the default)
           runs the sequential loop bit-for-bit — parallelism is opt-in *)
+  round_batch : int;
+      (** seeds each worker domain fuzzes per parallel round (default 2):
+          the coordinator ships [jobs * round_batch] seed-energy groups
+          per merge barrier, so larger values amortise coordination at
+          the cost of staler worker coverage snapshots; ignored at
+          [jobs = 1] *)
   max_executions : int;  (** transaction-sequence executions budget *)
   gas_per_tx : int;
   n_senders : int;  (** size of the sender account pool *)

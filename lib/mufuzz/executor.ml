@@ -64,13 +64,86 @@ let initial_state_for ~contract ~n_senders senders =
     memo := (contract, n_senders, st) :: kept;
     st
 
-let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t) =
+(* Batch execution context. Everything [run_seed] used to redo per
+   call — sender-pool materialisation, post-deploy state lookup,
+   interpreter config, and above all telemetry handle resolution
+   ([Telemetry.Metrics.counter] takes the registry mutex; resolving
+   per execution made that mutex the parallel campaign's hottest
+   lock) — is done once here. Per-execution telemetry accumulates in
+   {!Telemetry.Metrics.Local} views and reaches the shared registry
+   only on [flush], so the execution hot loop touches no cross-domain
+   cache line at all.
+
+   A ctx belongs to one domain at a time: the local metric views and
+   the (optional) cache shard are unsynchronised by design. The
+   parallel campaign builds one ctx per worker domain; hand-off is the
+   pool's batch barrier. *)
+type ctx = {
+  x_gas : int;
+  x_senders : Evm.State.address array;
+  x_config : Evm.Interp.config;
+  x_initial_state : Evm.State.t;
+  x_cache : State_cache.t option;
+  x_txs : Telemetry.Metrics.Local.lcounter option;
+  x_steps : Telemetry.Metrics.Local.lcounter option;
+  x_prefix_hits : Telemetry.Metrics.Local.lcounter option;
+  x_gas_hist : Telemetry.Metrics.Local.lhistogram option;
+}
+
+let make_ctx ~contract ~gas ~n_senders ~attacker ?cache ?metrics () =
   let senders = Array.of_list (sender_pool n_senders) in
-  let initial_state = initial_state_for ~contract ~n_senders senders in
-  let config =
-    if attacker then Evm.Interp.default_config
-    else { Evm.Interp.default_config with attacker = None }
+  Evm.Interp.preheat ();
+  let local_counter m name help =
+    Telemetry.Metrics.Local.counter (Telemetry.Metrics.counter m name ~help)
   in
+  {
+    x_gas = gas;
+    x_senders = senders;
+    x_config =
+      (if attacker then Evm.Interp.default_config
+       else { Evm.Interp.default_config with attacker = None });
+    x_initial_state = initial_state_for ~contract ~n_senders senders;
+    x_cache = cache;
+    x_txs =
+      Option.map
+        (fun m ->
+          local_counter m "mufuzz_txs_total"
+            "transactions executed (cached prefixes excluded)")
+        metrics;
+    x_steps =
+      Option.map
+        (fun m ->
+          local_counter m "mufuzz_evm_steps_total"
+            "EVM opcodes dispatched (cached prefixes excluded)")
+        metrics;
+    x_prefix_hits =
+      Option.map
+        (fun m ->
+          local_counter m "mufuzz_cache_prefix_hits_total"
+            "seed executions resumed from a cached state prefix")
+        metrics;
+    x_gas_hist =
+      Option.map
+        (fun m ->
+          Telemetry.Metrics.Local.histogram
+            (Telemetry.Metrics.histogram m "mufuzz_tx_gas_used"
+               ~help:"gas used per executed transaction"))
+        metrics;
+  }
+
+let flush ctx =
+  let fc = Option.iter Telemetry.Metrics.Local.flush_counter in
+  fc ctx.x_txs;
+  fc ctx.x_steps;
+  fc ctx.x_prefix_hits;
+  Option.iter Telemetry.Metrics.Local.flush_histogram ctx.x_gas_hist;
+  Option.iter State_cache.flush_metrics ctx.x_cache
+
+let run_in_ctx ctx (seed : Seed.t) =
+  let gas = ctx.x_gas in
+  let senders = ctx.x_senders in
+  let cache = ctx.x_cache in
+  let config = ctx.x_config in
   let txs = Array.of_list seed.txs in
   let n = Array.length txs in
   (* chained prefix digests: digests.(i) identifies txs.(0 .. i-1) *)
@@ -84,10 +157,10 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
   (* resume from the deepest cached prefix *)
   let start, state0, block0, prefix_results, rv0 =
     match cache with
-    | None -> (0, initial_state, Evm.Interp.default_block, [], false)
+    | None -> (0, ctx.x_initial_state, Evm.Interp.default_block, [], false)
     | Some c ->
       let rec probe k =
-        if k = 0 then (0, initial_state, Evm.Interp.default_block, [], false)
+        if k = 0 then (0, ctx.x_initial_state, Evm.Interp.default_block, [], false)
         else
           match State_cache.find c digests.(k) with
           | Some (s : State_cache.snapshot) ->
@@ -96,25 +169,8 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
       in
       probe n
   in
-  (match metrics with
-  | Some m ->
-    if start > 0 then
-      Telemetry.Metrics.incr
-        (Telemetry.Metrics.counter m "mufuzz_cache_prefix_hits_total"
-           ~help:"seed executions resumed from a cached state prefix");
-    Telemetry.Metrics.add
-      (Telemetry.Metrics.counter m "mufuzz_txs_total"
-         ~help:"transactions executed (cached prefixes excluded)")
-      (n - start)
-  | None -> ());
-  let gas_histogram =
-    match metrics with
-    | Some m ->
-      Some
-        (Telemetry.Metrics.histogram m "mufuzz_tx_gas_used"
-           ~help:"gas used per executed transaction")
-    | None -> None
-  in
+  if start > 0 then Option.iter Telemetry.Metrics.Local.incr ctx.x_prefix_hits;
+  Option.iter (fun l -> Telemetry.Metrics.Local.add l (n - start)) ctx.x_txs;
   let state = ref state0 in
   let block = ref block0 in
   let received_value = ref rv0 in
@@ -141,8 +197,8 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
     in
     let st', trace = Evm.Interp.execute ~config ~block:!block ~state:!state msg in
     executed_steps := !executed_steps + trace.steps;
-    (match gas_histogram with
-    | Some h -> Telemetry.Metrics.observe h (float_of_int trace.gas_used)
+    (match ctx.x_gas_hist with
+    | Some h -> Telemetry.Metrics.Local.observe h (float_of_int trace.gas_used)
     | None -> ());
     state := st';
     block := Evm.Interp.advance_block !block;
@@ -164,13 +220,9 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
         }
     | None -> ()
   done;
-  (match metrics with
-  | Some m ->
-    Telemetry.Metrics.add
-      (Telemetry.Metrics.counter m "mufuzz_evm_steps_total"
-         ~help:"EVM opcodes dispatched (cached prefixes excluded)")
-      !executed_steps
-  | None -> ());
+  Option.iter
+    (fun l -> Telemetry.Metrics.Local.add l !executed_steps)
+    ctx.x_steps;
   let tx_results = List.rev !results_rev in
   {
     tx_results;
@@ -182,6 +234,23 @@ let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t)
     logical_steps =
       List.fold_left (fun acc (r : tx_result) -> acc + r.trace.steps) 0 tx_results;
   }
+
+(* One dispatch pass over a whole seed population (the CuEVM shape):
+   the context's pooled frames, memoized post-deploy state and resolved
+   metric handles are reused across every seed, and telemetry reaches
+   the shared registry exactly once. Seeds run in list order, so with a
+   cache each seed sees the prefixes stored by its predecessors — the
+   same warmth a per-seed loop over the same ctx would produce. *)
+let run_batch ctx seeds =
+  let runs = List.map (run_in_ctx ctx) seeds in
+  flush ctx;
+  runs
+
+let run_seed ~contract ~gas ~n_senders ~attacker ?cache ?metrics (seed : Seed.t) =
+  let ctx = make_ctx ~contract ~gas ~n_senders ~attacker ?cache ?metrics () in
+  let r = run_in_ctx ctx seed in
+  flush ctx;
+  r
 
 let inspect ~static (run : run) =
   Oracles.Oracle.inspect_campaign ~static ~received_value:run.received_value

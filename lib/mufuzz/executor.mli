@@ -35,6 +35,51 @@ type run = {
           unchanged *)
 }
 
+type ctx
+(** A batch execution context: sender pool, post-deploy world state,
+    interpreter config and telemetry handles, all resolved once and
+    reused across every seed pushed through it. Single-domain by
+    design — the parallel campaign builds one per worker, with the
+    pool's batch barrier as the hand-off edge. *)
+
+val make_ctx :
+  contract:Minisol.Contract.t ->
+  gas:int ->
+  n_senders:int ->
+  attacker:bool ->
+  ?cache:State_cache.t ->
+  ?metrics:Telemetry.Metrics.t ->
+  unit ->
+  ctx
+(** Resolves metric handles (one registry-mutex round trip instead of
+    one per execution), memoizes the post-deploy state, pre-faults the
+    interpreter's frame pools ({!Evm.Interp.preheat}). A cache, when
+    given, must be dedicated to this (contract, gas, n_senders,
+    attacker) configuration — and, like the ctx, to one domain at a
+    time. *)
+
+val run_in_ctx : ctx -> Seed.t -> run
+(** Execute one seed: resume from the deepest cached prefix, then run
+    the remaining transactions in order with the block advancing
+    between them. Constructor transactions are always issued by
+    {!deployer}.
+    Telemetry accumulates {e locally} in the ctx; nothing reaches the
+    shared registry until {!flush}. *)
+
+val flush : ctx -> unit
+(** Push locally-accumulated telemetry ([mufuzz_txs_total],
+    [mufuzz_evm_steps_total], [mufuzz_cache_prefix_hits_total], the
+    [mufuzz_tx_gas_used] histogram, and the cache's hit/miss/eviction
+    counters) into the shared registry — one atomic op per metric.
+    Call at batch boundaries; idempotent between executions. *)
+
+val run_batch : ctx -> Seed.t list -> run list
+(** One dispatch pass over a whole seed population: runs each seed in
+    list order through the shared ctx and flushes telemetry once.
+    Result [i] is exactly [run_in_ctx ctx (List.nth seeds i)] — the
+    batch is an amortisation, not a semantic change (tests assert the
+    differential). *)
+
 val run_seed :
   contract:Minisol.Contract.t ->
   gas:int ->
@@ -44,14 +89,10 @@ val run_seed :
   ?metrics:Telemetry.Metrics.t ->
   Seed.t ->
   run
-(** Deploys the contract, funds the sender pool, then executes the
-    seed's transactions in order, advancing the block between them.
-    Constructor transactions are always issued by {!deployer}. A cache,
-    when given, must be dedicated to this (contract, gas, n_senders,
-    attacker) configuration. With [metrics], records
-    [mufuzz_txs_total], [mufuzz_evm_steps_total],
-    [mufuzz_cache_prefix_hits_total] and the [mufuzz_tx_gas_used]
-    histogram — all lock-free, safe from worker domains.
+(** [make_ctx] + [run_in_ctx] + [flush] for a single seed — the
+    convenience path replay-style consumers (triage, minimiser,
+    regression replay) use. Campaign loops should hold a ctx and call
+    {!run_batch} instead.
 
     The post-deploy world state (deployed code plus funded account
     pool) is memoized per (contract, n_senders) in domain-local

@@ -169,6 +169,69 @@ let run_batch t tasks =
         results
   end
 
+(* Incremental variant: merge results on the coordinator in submission
+   order *while the rest of the batch is still running*, instead of
+   parking until the whole batch drains. Workers flag each task's
+   completion under the pool mutex, which doubles as the
+   happens-before edge making the result write visible; the coordinator
+   merges index 0, then 1, ... as each lands, overlapping merge work
+   with sibling tasks. Submission order is preserved so merging stays
+   deterministic regardless of which worker finished first. *)
+let run_batch_iter t tasks ~merge =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else begin
+    let results = Array.make n None in
+    let completed = Array.make n false in
+    let failure = ref None in
+    Mutex.lock t.mutex;
+    if t.pending <> 0 || t.in_batch then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run_batch_iter: pool already running a batch"
+    end;
+    Array.iteri
+      (fun i task ->
+        let wrapped worker_id =
+          (match task worker_id with
+          | v -> results.(i) <- Some v
+          | exception e -> if !failure = None then failure := Some e);
+          Mutex.lock t.mutex;
+          completed.(i) <- true;
+          Condition.broadcast t.batch_done;
+          Mutex.unlock t.mutex
+        in
+        Queue.push wrapped t.deques.(i mod t.size))
+      tasks;
+    t.pending <- n;
+    t.in_batch <- true;
+    Condition.broadcast t.work_available;
+    let next = ref 0 in
+    while !next < n do
+      while not completed.(!next) do
+        Condition.wait t.batch_done t.mutex
+      done;
+      let i = !next in
+      incr next;
+      Mutex.unlock t.mutex;
+      (match results.(i) with
+      | Some v ->
+        if !failure = None then begin
+          try merge i v with e -> failure := Some e
+        end
+      | None -> ());
+      Mutex.lock t.mutex
+    done;
+    (* the last-merged task's worker may not have decremented [pending]
+       yet; hold the batch open until it has so overlap checks stay
+       sound for the next round *)
+    while t.pending > 0 do
+      Condition.wait t.batch_done t.mutex
+    done;
+    t.in_batch <- false;
+    Mutex.unlock t.mutex;
+    match !failure with Some e -> raise (Task_error e) | None -> ()
+  end
+
 let map t f items =
   let tasks = Array.of_list (List.map (fun x -> fun _worker -> f x) items) in
   Array.to_list (run_batch t tasks)

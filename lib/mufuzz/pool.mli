@@ -32,8 +32,19 @@ val run_batch : t -> (int -> 'a) array -> 'a array
     it, for indexing per-domain scratch state such as executor caches. *)
 
 exception Task_error of exn
-(** Raised by {!run_batch} (after the whole batch has drained) when a
-    task raised; carries the first failure. *)
+(** Raised by {!run_batch} / {!run_batch_iter} (after the whole batch
+    has drained) when a task or merge raised; carries the first
+    failure. *)
+
+val run_batch_iter :
+  t -> (int -> 'a) array -> merge:(int -> 'a -> unit) -> unit
+(** Like {!run_batch}, but instead of a stop-the-world barrier followed
+    by a serial merge pass, [merge i result] runs on the coordinator in
+    submission order {e as each result completes} — merging task 0
+    overlaps with workers still executing tasks 1..n. Submission order
+    makes the merge sequence deterministic regardless of completion
+    order, so campaign results are independent of scheduling. Returns
+    once every task has drained and every merge has run. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f items] runs [f] on every item across the pool, preserving

@@ -29,6 +29,7 @@ type domain_stat = {
 type parallel_stats = {
   jobs : int;
   rounds : int;
+  round_batch : int;
   merge_seconds : float;
   steals : int;
   domains : domain_stat list;
@@ -127,8 +128,11 @@ let to_text t =
   (match t.parallel with
   | None -> ()
   | Some p ->
-    pf "\nparallel execution (%d domains, %d rounds, %.2fs merging, %d steals)\n"
-      p.jobs p.rounds p.merge_seconds p.steals;
+    pf
+      "\n\
+       parallel execution (%d domains, %d rounds of %d seeds/domain, %.2fs \
+       merging, %d steals)\n"
+      p.jobs p.rounds p.round_batch p.merge_seconds p.steals;
     List.iter
       (fun d ->
         pf "  domain %d: %6d execs, %8.1f execs/sec, %.2fs merge stall\n"
@@ -166,6 +170,7 @@ let to_json t =
       [
         ("jobs", J.Int p.jobs);
         ("rounds", J.Int p.rounds);
+        ("round_batch", J.Int p.round_batch);
         ("merge_seconds", J.Float p.merge_seconds);
         ("steals", J.Int p.steals);
         ( "domains",

@@ -25,7 +25,12 @@ type domain_stat = {
 type parallel_stats = {
   jobs : int;
   rounds : int;  (** coordinator merge rounds *)
-  merge_seconds : float;  (** coordinator time spent merging feedback *)
+  round_batch : int;  (** seeds shipped per domain per round *)
+  merge_seconds : float;
+      (** coordinator time spent merging feedback — merges overlap with
+          still-running sibling tasks (incremental in-order merge), so
+          this is work attributed to the coordinator, not wall-clock the
+          workers spent parked *)
   steals : int;  (** work-stealing events in the pool *)
   domains : domain_stat list;
 }

@@ -27,6 +27,12 @@ type t = {
   mutable hit_count : int;
   mutable miss_count : int;
   mutable eviction_count : int;
+  (* counts already pushed into the registry; the hot find/store path
+     only touches the plain local counts above — registry atomics are
+     cross-domain cache-line traffic, paid once per [flush_metrics] *)
+  mutable flushed_hits : int;
+  mutable flushed_misses : int;
+  mutable flushed_evictions : int;
   c_hits : Telemetry.Metrics.counter option;
   c_misses : Telemetry.Metrics.counter option;
   c_evictions : Telemetry.Metrics.counter option;
@@ -48,6 +54,9 @@ let create ?(capacity = 4096) ?metrics () =
     hit_count = 0;
     miss_count = 0;
     eviction_count = 0;
+    flushed_hits = 0;
+    flushed_misses = 0;
+    flushed_evictions = 0;
     c_hits = counter "mufuzz_cache_hits_total" "prefix-state cache hits";
     c_misses = counter "mufuzz_cache_misses_total" "prefix-state cache misses";
     c_evictions =
@@ -55,7 +64,18 @@ let create ?(capacity = 4096) ?metrics () =
         "prefix-state cache entries evicted by the clock hand";
   }
 
-let bump = function Some c -> Telemetry.Metrics.incr c | None -> ()
+let flush_metrics t =
+  let push c current flushed =
+    match c with
+    | Some c when current > flushed -> Telemetry.Metrics.add c (current - flushed)
+    | _ -> ()
+  in
+  push t.c_hits t.hit_count t.flushed_hits;
+  push t.c_misses t.miss_count t.flushed_misses;
+  push t.c_evictions t.eviction_count t.flushed_evictions;
+  t.flushed_hits <- t.hit_count;
+  t.flushed_misses <- t.miss_count;
+  t.flushed_evictions <- t.eviction_count
 
 let digest_tx prev (tx : Seed.tx) =
   Crypto.Keccak.hash
@@ -67,11 +87,9 @@ let find t key =
   | Some e ->
     e.referenced <- true;
     t.hit_count <- t.hit_count + 1;
-    bump t.c_hits;
     Some e.e_snap
   | None ->
     t.miss_count <- t.miss_count + 1;
-    bump t.c_misses;
     None
 
 (* Advance the hand to a victim slot: clear referenced bits as it
@@ -87,7 +105,6 @@ let evict_one t =
     | Some e ->
       Hashtbl.remove t.table e.e_key;
       t.eviction_count <- t.eviction_count + 1;
-      bump t.c_evictions;
       let slot = t.hand in
       t.hand <- (t.hand + 1) mod t.capacity;
       slot
@@ -120,3 +137,27 @@ let store t key snapshot =
 let hits t = t.hit_count
 let misses t = t.miss_count
 let evictions t = t.eviction_count
+
+(* ---------------- per-domain sharding ---------------- *)
+
+(* One shard per worker domain. A shard is owned exclusively by its
+   domain while a batch runs (the pool's barrier is the hand-off edge),
+   so the hot prefix-lookup path crosses no mutex and no shared cache
+   line; only [flush_metrics] — called at batch boundaries — touches
+   the shared registry. *)
+type sharded = { shards : t array }
+
+let create_sharded ?capacity ?metrics ~shards () =
+  let n = Stdlib.max 1 shards in
+  { shards = Array.init n (fun _ -> create ?capacity ?metrics ()) }
+
+let shard s i = s.shards.(i mod Array.length s.shards)
+let shard_count s = Array.length s.shards
+
+let total f s = Array.fold_left (fun acc t -> acc + f t) 0 s.shards
+
+let total_hits = total hits
+let total_misses = total misses
+let total_evictions = total evictions
+
+let flush_sharded_metrics s = Array.iter flush_metrics s.shards

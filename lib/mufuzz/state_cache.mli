@@ -25,7 +25,14 @@ val create : ?capacity:int -> ?metrics:Telemetry.Metrics.t -> unit -> t
     insertion — recently hit snapshots survive, so a full cache keeps
     serving the prefixes the mutation loop is actively exercising. With
     [metrics], maintains [mufuzz_cache_hits_total],
-    [mufuzz_cache_misses_total] and [mufuzz_cache_evictions_total]. *)
+    [mufuzz_cache_misses_total] and [mufuzz_cache_evictions_total] —
+    updated only by {!flush_metrics}, so the lookup path itself never
+    touches a shared cache line. *)
+
+val flush_metrics : t -> unit
+(** Push hit/miss/eviction counts accumulated since the last flush into
+    the registry counters given at {!create}. Without metrics, a no-op.
+    Call from the owning domain at a batch boundary. *)
 
 val digest_tx : string -> Seed.tx -> string
 (** [digest_tx prev tx] chains the prefix digest with this transaction's
@@ -40,3 +47,32 @@ val misses : t -> int
 
 val evictions : t -> int
 (** Entries removed by the clock hand since [create]. *)
+
+(** {2 Per-domain sharding}
+
+    The parallel campaign gives every worker domain a private shard, so
+    the hot prefix-lookup path is entirely domain-local: no mutex, no
+    shared counters, no cross-domain cache-line traffic. The barrier of
+    {!Pool.run_batch} is the hand-off edge that makes a shard safe to
+    touch from the coordinator between rounds (for counter totals). *)
+
+type sharded
+
+val create_sharded :
+  ?capacity:int -> ?metrics:Telemetry.Metrics.t -> shards:int -> unit -> sharded
+(** [max 1 shards] independent caches of [capacity] entries each,
+    reporting into the same registry counters when [metrics] is given. *)
+
+val shard : sharded -> int -> t
+(** [shard s w] is worker [w]'s private cache (indices wrap). *)
+
+val shard_count : sharded -> int
+
+val total_hits : sharded -> int
+val total_misses : sharded -> int
+val total_evictions : sharded -> int
+(** Sums over every shard — the merged campaign-wide counters. Only
+    call when no worker is mid-batch. *)
+
+val flush_sharded_metrics : sharded -> unit
+(** {!flush_metrics} on every shard. *)

@@ -94,6 +94,71 @@ let observe h v =
 let histogram_count h = Atomic.get h.h_count
 let histogram_sum h = Atomic.get h.h_sum
 
+(* ---------------- domain-local accumulation ---------------- *)
+
+module Local = struct
+  type lcounter = { target : counter; mutable pending : int }
+
+  let counter target = { target; pending = 0 }
+  let incr l = l.pending <- l.pending + 1
+
+  let add l n =
+    if n < 0 then invalid_arg "Metrics.Local.add: counters are monotone";
+    l.pending <- l.pending + n
+
+  let pending l = l.pending
+
+  let flush_counter l =
+    if l.pending > 0 then begin
+      ignore (Atomic.fetch_and_add l.target.c_value l.pending);
+      l.pending <- 0
+    end
+
+  type lhistogram = {
+    h_target : histogram;
+    l_buckets : int array;  (* length = bounds + 1, like the target *)
+    mutable l_count : int;
+    mutable l_sum : float;
+  }
+
+  let histogram h_target =
+    {
+      h_target;
+      l_buckets = Array.make (Array.length h_target.h_buckets) 0;
+      l_count = 0;
+      l_sum = 0.0;
+    }
+
+  let observe l v =
+    let bounds = l.h_target.h_bounds in
+    let n = Array.length bounds in
+    let rec bucket i = if i >= n || v <= bounds.(i) then i else bucket (i + 1) in
+    let b = bucket 0 in
+    l.l_buckets.(b) <- l.l_buckets.(b) + 1;
+    l.l_count <- l.l_count + 1;
+    l.l_sum <- l.l_sum +. v
+
+  let flush_histogram l =
+    if l.l_count > 0 then begin
+      let h = l.h_target in
+      Array.iteri
+        (fun i n ->
+          if n > 0 then begin
+            ignore (Atomic.fetch_and_add h.h_buckets.(i) n);
+            l.l_buckets.(i) <- 0
+          end)
+        l.l_buckets;
+      ignore (Atomic.fetch_and_add h.h_count l.l_count);
+      let rec loop () =
+        let old = Atomic.get h.h_sum in
+        if not (Atomic.compare_and_set h.h_sum old (old +. l.l_sum)) then loop ()
+      in
+      loop ();
+      l.l_count <- 0;
+      l.l_sum <- 0.0
+    end
+end
+
 (* ---------------- Prometheus text dump ---------------- *)
 
 let float_str f =

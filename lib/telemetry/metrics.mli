@@ -48,3 +48,37 @@ val histogram_sum : histogram -> float
 val dump : t -> string
 (** Prometheus text format: [# HELP] / [# TYPE] headers, histogram
     [_bucket{le=...}] / [_sum] / [_count] series. *)
+
+(** Domain-local accumulators over registry metrics. Even lock-free
+    atomic updates are cross-domain traffic (the cache line carrying
+    the counter bounces between cores on every bump); hot loops that
+    record per-execution or per-transaction instead accumulate into a
+    plain local value and flush the total in one atomic operation at a
+    batch boundary. A local handle must only ever be touched from one
+    domain at a time — hand-off requires an external happens-before
+    edge (the pool's batch barrier provides one). *)
+module Local : sig
+  type lcounter
+
+  val counter : counter -> lcounter
+  (** A fresh local view with no pending increments. *)
+
+  val incr : lcounter -> unit
+  val add : lcounter -> int -> unit
+
+  val pending : lcounter -> int
+  (** Increments accumulated since the last flush. *)
+
+  val flush_counter : lcounter -> unit
+  (** Push the pending total into the registry counter (one atomic
+      add) and reset the local count to zero. *)
+
+  type lhistogram
+
+  val histogram : histogram -> lhistogram
+  val observe : lhistogram -> float -> unit
+
+  val flush_histogram : lhistogram -> unit
+  (** Push pending bucket counts, count and sum into the registry
+      histogram and reset the local state. *)
+end

@@ -295,6 +295,12 @@ let lru =
         let v name =
           Telemetry.Metrics.value (Telemetry.Metrics.counter m name)
         in
+        (* counts reach the registry only at flush (batch boundary) *)
+        Alcotest.(check int) "nothing before flush" 0
+          (v "mufuzz_cache_hits_total");
+        Mufuzz.State_cache.flush_metrics c;
+        (* a second flush must not double-count *)
+        Mufuzz.State_cache.flush_metrics c;
         Alcotest.(check int)
           "hits" (Mufuzz.State_cache.hits c)
           (v "mufuzz_cache_hits_total");
