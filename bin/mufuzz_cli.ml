@@ -631,11 +631,171 @@ let static_cmd =
     (Cmd.info "static" ~doc:"Run the reimplemented static analyzers.")
     Term.(const run $ file_arg)
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let state_arg =
+    Arg.(value & opt string "mufuzz-state" & info [ "state" ] ~docv:"DIR"
+           ~doc:"Service state directory (created if missing). Each campaign \
+                 owns DIR/<id>/ with its source, metadata, event trace, \
+                 checkpoints, final report and repro artifacts; a restarted \
+                 daemon rescans DIR and resumes unfinished campaigns.")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket to listen on. Default: DIR/serve.sock.")
+  in
+  let port_arg =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Also listen on 127.0.0.1:PORT (TCP).")
+  in
+  let slice_arg =
+    Arg.(value & opt int 500 & info [ "slice-execs" ] ~docv:"N"
+           ~doc:"Scheduler time slice in executions. A running campaign is \
+                 preempted at its next safe point once the slice is spent \
+                 (its snapshot checkpointed, the next campaign scheduled); \
+                 smaller slices interleave campaigns more finely at the \
+                 cost of more checkpoint writes.")
+  in
+  let pool_jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains in the shared pool. Campaigns submitted with \
+                 \"jobs\" > 1 shard across it; the default 1 runs every \
+                 campaign sequentially (and deterministically).")
+  in
+  let run state socket port slice_execs jobs checkpoint_keep verbose =
+    setup_logs verbose;
+    if not verbose then Logs.set_level (Some Logs.Info);
+    let metrics = Telemetry.Metrics.create () in
+    let engine =
+      Serve.Engine.create ~slice_execs ~checkpoint_keep ~jobs ~state_dir:state
+        ~metrics ()
+    in
+    let socket =
+      Some (Option.value socket ~default:(Filename.concat state "serve.sock"))
+    in
+    Serve.Server.run ?socket ?port engine
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-campaign fuzzing service daemon. Clients submit \
+             contracts over a line-delimited JSON protocol (see \
+             PROTOCOL.md); campaigns run concurrently via safe-point \
+             preemption, each preserving the exact report an uninterrupted \
+             $(b,mufuzz fuzz) would produce.")
+    Term.(const run $ state_arg $ socket_arg $ port_arg $ slice_arg
+          $ pool_jobs_arg $ checkpoint_keep_arg $ verbose_arg)
+
+(* ---------------- client ---------------- *)
+
+let client_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Daemon Unix socket to connect to.")
+  in
+  let port_arg =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Connect to 127.0.0.1:PORT instead of a Unix socket.")
+  in
+  let requests_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"REQUEST"
+           ~doc:"Raw JSON request lines, sent in order (see PROTOCOL.md), \
+                 e.g. '{\"op\":\"status\",\"id\":\"c0001\"}'.")
+  in
+  let structured_error msg =
+    print_endline
+      (Serve.Protocol.error ~code:Serve.Protocol.Internal msg)
+  in
+  let run socket port requests =
+    let addr =
+      match (socket, port) with
+      | Some p, None -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+      | None, Some p ->
+        Ok (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, p))
+      | None, None -> Error "one of --socket or --port is required"
+      | Some _, Some _ -> Error "give --socket or --port, not both"
+    in
+    match addr with
+    | Error msg ->
+      structured_error msg;
+      exit 2
+    | Ok (domain, addr) -> (
+      match
+        let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+        Unix.connect fd addr;
+        fd
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        structured_error
+          (Printf.sprintf "cannot connect: %s" (Unix.error_message e));
+        exit 2
+      | fd ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let read_line_or_die () =
+          match input_line ic with
+          | line -> line
+          | exception End_of_file ->
+            structured_error "server closed the connection";
+            exit 2
+        in
+        ignore (read_line_or_die ());  (* the greeting *)
+        let all_ok =
+          List.fold_left
+            (fun all_ok request ->
+              output_string oc request;
+              output_char oc '\n';
+              flush oc;
+              let response = read_line_or_die () in
+              print_endline response;
+              let ok =
+                match Telemetry.Json.of_string response with
+                | Ok j -> (
+                  match
+                    Option.bind (Telemetry.Json.member "ok" j)
+                      Telemetry.Json.to_bool
+                  with
+                  | Some b -> b
+                  | None -> false)
+                | Error _ -> false
+              in
+              all_ok && ok)
+            true requests
+        in
+        close_out_noerr oc;
+        if not all_ok then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send raw protocol requests to a running $(b,mufuzz serve) \
+             daemon, one response line per request on stdout. Exits 0 iff \
+             every response has \"ok\": true, 1 on a protocol-level error \
+             response, 2 when the daemon is unreachable.")
+    Term.(const run $ socket_arg $ port_arg $ requests_arg)
+
 let () =
   let info =
     Cmd.info "mufuzz" ~version:"1.0.0"
       ~doc:"Sequence-aware smart contract fuzzing (MuFuzz, ICDE 2024 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info
-       [ fuzz_cmd; resume_cmd; analyze_cmd; disasm_cmd; exec_cmd; static_cmd;
-         corpus_cmd; shrink_cmd; repro_cmd ]))
+  let group =
+    Cmd.group info
+      [ fuzz_cmd; resume_cmd; analyze_cmd; disasm_cmd; exec_cmd; static_cmd;
+        corpus_cmd; shrink_cmd; repro_cmd; serve_cmd; client_cmd ]
+  in
+  (* [~catch:false] so a stray exception becomes one structured error
+     line and a distinct exit code, not a backtrace dump *)
+  let code =
+    try Cmd.eval ~catch:false group with
+    | Failure msg | Sys_error msg ->
+      Printf.eprintf "mufuzz: error: %s\n" msg;
+      125
+    | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "mufuzz: error: %s: %s%s\n" fn (Unix.error_message e)
+        (if arg = "" then "" else " (" ^ arg ^ ")");
+      125
+    | e ->
+      Printf.eprintf "mufuzz: internal error: %s\n" (Printexc.to_string e);
+      125
+  in
+  exit code

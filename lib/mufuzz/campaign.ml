@@ -4,6 +4,8 @@ let log_src = Logs.Src.create "mufuzz.campaign" ~doc:"MuFuzz campaign events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+exception Preempt
+
 type entry = {
   seed : Seed.t;
   path : (int * bool) list;
@@ -681,7 +683,14 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
             ~weight_table:!weight_table ~witness_seeds:!witness_seeds ~occ
             ~checkpoints:!checkpoints)
   in
+  (* A hook may raise [Preempt] from a non-final safe point to yield the
+     campaign: the loop exits immediately with [Report.Preempted], the
+     snapshot the hook captured being the resume point. Safe points are
+     the only raise sites, so the exception always leaves every feedback
+     structure consistent. *)
+  let preempted = ref false in
   (* ---------------- main loop ---------------- *)
+  (try
   (* black-box mode: no feedback, fresh random seeds until the budget ends *)
   if config.blackbox then
     while budget_left () do
@@ -774,10 +783,16 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
         else remaining := 0
       end
     done
-  done;
-  safe_point ~final:true;
+  done
+  with Preempt -> preempted := true);
+  if !preempted then
+    (* the preempting hook already captured its snapshot; the final
+       flush keeps metrics sinks exact without re-running the hook *)
+    Executor.flush xctx
+  else safe_point ~final:true;
   let stop_reason =
-    if !execs >= config.max_executions then Report.Budget_exhausted
+    if !preempted then Report.Preempted
+    else if !execs >= config.max_executions then Report.Budget_exhausted
     else if time_exhausted () then Report.Time_exhausted
     else Report.Queue_exhausted
   in
@@ -1292,6 +1307,12 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
     in
     execute_seeds_parallel ~enqueue:true initial_seeds
   end;
+  (* Workers are parked at the barrier whenever a safe point runs, so a
+     [Preempt] raised by the hook leaves no task in flight — the same
+     consistency argument as the sequential loop. *)
+  let preempted = ref false in
+  let zero_rounds = ref 0 in
+  (try
   (* ---------------- black-box mode ---------------- *)
   if config.blackbox then
     while budget_left () do
@@ -1305,7 +1326,6 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
       execute_seeds_parallel ~enqueue:false (List.rev !batch)
     done;
   (* ---------------- main loop ---------------- *)
-  let zero_rounds = ref 0 in
   while budget_left () && Array.length !queue > 0 && !zero_rounds < 64 do
     incr rounds;
     let rem = config.max_executions - !execs in
@@ -1470,10 +1490,12 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
           k ntasks !round_execs
           (Coverage.covered_count coverage));
     safe_point ~final:false
-  done;
-  safe_point ~final:true;
+  done
+  with Preempt -> preempted := true);
+  if not !preempted then safe_point ~final:true;
   let stop_reason =
-    if !execs >= config.max_executions then Report.Budget_exhausted
+    if !preempted then Report.Preempted
+    else if !execs >= config.max_executions then Report.Budget_exhausted
     else if time_exhausted () then Report.Time_exhausted
     else if !zero_rounds >= 64 then Report.Stalled
     else Report.Queue_exhausted

@@ -25,6 +25,18 @@ type snapshot_entry = {
     into the deduplicated [sn_entries] pool; [sn_best] additionally
     records its table's iteration order so a resumed campaign replays
     the uninterrupted one bit-for-bit at [jobs = 1]. *)
+exception Preempt
+(** An [?on_safe_point] hook may raise this from a {e non-final} safe
+    point to yield the campaign cooperatively: the loop exits at once
+    with [Report.stop_reason = Preempted] and a normal (partial) report.
+    The hook is expected to have forced the snapshot thunk first — the
+    captured snapshot is the exact resume point, so
+    [run ?resume:(path, snapshot)] later continues the campaign as if it
+    had never stopped (report-equivalent at [jobs = 1]). This is the
+    time-slice mechanism of the [Serve] scheduler. Raising from a
+    [final:true] safe point is a programmer error (the exception would
+    escape [run]). *)
+
 type snapshot = {
   sn_execs : int;
   sn_steps : int;

@@ -5,18 +5,21 @@ type stop_reason =
   | Time_exhausted
   | Queue_exhausted
   | Stalled
+  | Preempted
 
 let stop_reason_to_string = function
   | Budget_exhausted -> "budget-exhausted"
   | Time_exhausted -> "time-exhausted"
   | Queue_exhausted -> "queue-exhausted"
   | Stalled -> "stalled"
+  | Preempted -> "preempted"
 
 let stop_reason_of_string = function
   | "budget-exhausted" -> Ok Budget_exhausted
   | "time-exhausted" -> Ok Time_exhausted
   | "queue-exhausted" -> Ok Queue_exhausted
   | "stalled" -> Ok Stalled
+  | "preempted" -> Ok Preempted
   | s -> Error (Printf.sprintf "unknown stop reason %S" s)
 
 type domain_stat = {

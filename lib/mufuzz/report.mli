@@ -8,6 +8,11 @@ type stop_reason =
   | Time_exhausted  (** [max_seconds] wall-clock budget reached *)
   | Queue_exhausted  (** no seed left to select (sequential loop) *)
   | Stalled  (** parallel stall guard: too many zero-progress rounds *)
+  | Preempted
+      (** an [on_safe_point] hook raised {!Campaign.Preempt}: the
+          campaign yielded mid-run with a snapshot captured; the report
+          is a partial view, and the campaign is expected to be resumed
+          later (the service scheduler's time-slice mechanism) *)
 
 val stop_reason_to_string : stop_reason -> string
 (** Kebab-case tag, as rendered in the JSON report. *)

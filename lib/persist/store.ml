@@ -29,6 +29,39 @@ let create ~dir ~keep =
   mkdirs dir;
   { dir; keep = max 1 keep }
 
+(* Campaign ids double as directory names, so the alphabet is locked
+   down: no separators, no dot-files, nothing the shell or a URL would
+   reinterpret. *)
+let valid_namespace id =
+  id <> "" && id.[0] <> '.'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       id
+
+let namespaced ~dir ~id ~keep =
+  if not (valid_namespace id) then
+    invalid_arg (Printf.sprintf "Store.namespaced: invalid campaign id %S" id);
+  create ~dir:(Filename.concat dir id) ~keep
+
+let dir t = t.dir
+
+let namespaces dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun id ->
+           valid_namespace id
+           && Sys.is_directory (Filename.concat dir id)
+           && Array.exists is_checkpoint_file
+                (try Sys.readdir (Filename.concat dir id)
+                 with Sys_error _ -> [||]))
+    |> List.sort compare
+
 (* Checkpoint files, oldest first. Names embed a zero-padded exec
    count, so string sort is chronological sort. *)
 let list t =

@@ -1,0 +1,167 @@
+(* The service wire protocol: one JSON object per line, both ways.
+
+   Requests are tagged by an "op" field; responses by "ok". The codec
+   is deliberately forgiving about unknown fields (ignored) and strict
+   about types — a malformed payload becomes a structured error line,
+   never an exception escaping to the session loop. *)
+
+module J = Telemetry.Json
+
+let version = 1
+
+let server_name = "mufuzz-serve"
+
+type error_code =
+  | Bad_request
+  | Unknown_op
+  | Unknown_id
+  | Bad_state
+  | Internal
+
+let code_string = function
+  | Bad_request -> "bad-request"
+  | Unknown_op -> "unknown-op"
+  | Unknown_id -> "unknown-id"
+  | Bad_state -> "bad-state"
+  | Internal -> "internal"
+
+type submit = {
+  sub_source : [ `Inline of string | `File of string ];
+  sub_budget : int option;
+  sub_seed : int64 option;
+  sub_tool : string option;
+  sub_jobs : int option;
+  sub_priority : int;
+}
+
+type request =
+  | Hello of int option  (** client-announced protocol version *)
+  | Submit of submit
+  | Status of string
+  | Report of string
+  | Cancel of string
+  | Artifacts of string
+  | List_campaigns
+  | Metrics
+  | Ping
+  | Shutdown
+
+(* ---------------- request parsing ---------------- *)
+
+let field name j = J.member name j
+
+let opt_int name j =
+  match field name j with
+  | None | Some J.Null -> Ok None
+  | Some v -> (
+    match J.to_int v with
+    | Some n -> Ok (Some n)
+    | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let opt_string name j =
+  match field name j with
+  | None | Some J.Null -> Ok None
+  | Some v -> (
+    match J.string_value v with
+    | Some s -> Ok (Some s)
+    | None -> Error (Printf.sprintf "field %S must be a string" name))
+
+(* RNG seeds are int64; accept a JSON integer or a decimal string
+   (JSON numbers lose precision past 2^53 in sloppy clients). *)
+let opt_seed name j =
+  match field name j with
+  | None | Some J.Null -> Ok None
+  | Some (J.Int n) -> Ok (Some (Int64.of_int n))
+  | Some (J.String s) -> (
+    match Int64.of_string_opt s with
+    | Some n -> Ok (Some n)
+    | None -> Error (Printf.sprintf "field %S is not a decimal int64" name))
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer or string" name)
+
+let req_id j =
+  match opt_string "id" j with
+  | Ok (Some id) -> Ok id
+  | Ok None -> Error "missing field \"id\""
+  | Error e -> Error e
+
+let ( let* ) r f = Result.bind r f
+
+let parse_submit j =
+  let* source = opt_string "source" j in
+  let* file = opt_string "file" j in
+  let* sub_source =
+    match (source, file) with
+    | Some s, None -> Ok (`Inline s)
+    | None, Some f -> Ok (`File f)
+    | Some _, Some _ -> Error "give either \"source\" or \"file\", not both"
+    | None, None -> Error "submit needs a \"source\" or \"file\" field"
+  in
+  let* sub_budget = opt_int "budget" j in
+  let* sub_seed = opt_seed "seed" j in
+  let* sub_tool = opt_string "tool" j in
+  let* sub_jobs = opt_int "jobs" j in
+  let* priority = opt_int "priority" j in
+  Ok
+    (Submit
+       {
+         sub_source;
+         sub_budget;
+         sub_seed;
+         sub_tool;
+         sub_jobs;
+         sub_priority = Option.value priority ~default:0;
+       })
+
+let parse_request line =
+  match J.of_string line with
+  | Error e -> Error (Bad_request, Printf.sprintf "not a JSON object: %s" e)
+  | Ok j -> (
+    match field "op" j with
+    | None -> Error (Bad_request, "missing field \"op\"")
+    | Some op -> (
+      match J.string_value op with
+      | None -> Error (Bad_request, "field \"op\" must be a string")
+      | Some op ->
+        let with_id k =
+          match req_id j with
+          | Ok id -> Ok (k id)
+          | Error e -> Error (Bad_request, e)
+        in
+        (match op with
+        | "hello" -> (
+          match opt_int "protocol" j with
+          | Ok v -> Ok (Hello v)
+          | Error e -> Error (Bad_request, e))
+        | "submit" -> (
+          match parse_submit j with
+          | Ok r -> Ok r
+          | Error e -> Error (Bad_request, e))
+        | "status" -> with_id (fun id -> Status id)
+        | "report" -> with_id (fun id -> Report id)
+        | "cancel" -> with_id (fun id -> Cancel id)
+        | "artifacts" -> with_id (fun id -> Artifacts id)
+        | "list" -> Ok List_campaigns
+        | "metrics" -> Ok Metrics
+        | "ping" -> Ok Ping
+        | "shutdown" -> Ok Shutdown
+        | op -> Error (Unknown_op, Printf.sprintf "unknown op %S" op))))
+
+(* ---------------- response rendering ---------------- *)
+
+let ok fields = J.to_string (J.Obj (("ok", J.Bool true) :: fields))
+
+let error ~code msg =
+  J.to_string
+    (J.Obj
+       [
+         ("ok", J.Bool false);
+         ("code", J.String (code_string code));
+         ("error", J.String msg);
+       ])
+
+let greeting =
+  ok
+    [
+      ("server", J.String server_name);
+      ("protocol", J.Int version);
+    ]

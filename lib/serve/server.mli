@@ -1,0 +1,18 @@
+(** The daemon's socket front-end: a single-threaded [Unix.select]
+    loop over a Unix-domain listener and/or a loopback TCP listener,
+    speaking the line-delimited JSON protocol of {!Protocol} and
+    interleaving client requests with {!Engine.step} time slices.
+
+    Single-threaded by construction: requests are handled between
+    slices, so every protocol operation observes the engine at a safe
+    point and no locking exists anywhere in the service. *)
+
+val run : ?socket:string -> ?port:int -> Engine.t -> unit
+(** Serve until a ["shutdown"] request or SIGINT/SIGTERM arrives, then
+    close every connection, remove the socket file, flush campaign
+    metadata and stop the worker pool. At least one of [socket] and
+    [port] is required ([Invalid_argument] otherwise); [port] binds
+    127.0.0.1 only.
+
+    @raise Failure if [socket] names a live server's socket (a stale
+    file left by a crashed daemon is silently replaced). *)

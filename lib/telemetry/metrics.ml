@@ -61,7 +61,43 @@ let gauge_value g = Atomic.get g.g_value
 
 let default_buckets = [ 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7 ]
 
+(* A metric "name" may carry a Prometheus label set, rendered inline:
+   [labeled "m" [("id", "c1")]] registers the series [m{id="c1"}]. The
+   registry treats the full string as the key (distinct label values
+   are distinct series); [dump] groups the HELP/TYPE headers under the
+   base name so the exposition stays well-formed. *)
+
+let labeled name labels =
+  if labels = [] then name
+  else begin
+    let escape v =
+      let buf = Buffer.create (String.length v) in
+      String.iter
+        (fun c ->
+          match c with
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c -> Buffer.add_char buf c)
+        v;
+      Buffer.contents buf
+    in
+    Printf.sprintf "%s{%s}" name
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) labels))
+  end
+
+let base_name name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
 let histogram t ?(help = "") ?(buckets = default_buckets) name =
+  (* a labeled histogram would need its suffixes inside the braces
+     ([m_bucket{id=...,le=...}]) — not worth the machinery until a
+     caller exists *)
+  if String.contains name '{' then
+    invalid_arg "Metrics.histogram: labeled histograms are not supported";
   let bounds = Array.of_list buckets in
   Array.iteri
     (fun i b ->
@@ -174,15 +210,21 @@ let dump t =
   Mutex.unlock t.mutex;
   let buf = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* labeled series of one family are adjacent after the sort; emit the
+     HELP/TYPE headers once per base name, not once per series *)
+  let last_base = ref "" in
   List.iter
     (fun (name, { help; metric }) ->
-      if help <> "" then pf "# HELP %s %s\n" name help;
+      let base = base_name name in
+      let fresh_family = base <> !last_base in
+      last_base := base;
+      if fresh_family && help <> "" then pf "# HELP %s %s\n" base help;
       match metric with
       | Counter c ->
-        pf "# TYPE %s counter\n" name;
+        if fresh_family then pf "# TYPE %s counter\n" base;
         pf "%s %d\n" name (value c)
       | Gauge g ->
-        pf "# TYPE %s gauge\n" name;
+        if fresh_family then pf "# TYPE %s gauge\n" base;
         pf "%s %s\n" name (float_str (gauge_value g))
       | Histogram h ->
         pf "# TYPE %s histogram\n" name;

@@ -36,10 +36,24 @@ type histogram
 (** Cumulative fixed-bucket histogram; observation is a few atomic
     adds (bucket, count) plus one CAS loop (sum). *)
 
+val labeled : string -> (string * string) list -> string
+(** [labeled "m" [("id", "c1")]] is the series name [m{id="c1"}] —
+    pass it to {!counter} or {!gauge} to register one labeled series
+    per distinct label value (the per-campaign gauges of the service
+    daemon). Values are escaped per the Prometheus text format;
+    {!dump} groups all series of a family under one [# HELP]/[# TYPE]
+    header. [labeled name []] is [name]. *)
+
+val base_name : string -> string
+(** The family name of a (possibly labeled) series: everything before
+    the first ['{']. *)
+
 val histogram : t -> ?help:string -> ?buckets:float list -> string -> histogram
 (** [buckets] are upper bounds, strictly increasing; a [+Inf] bucket
     is implicit. Default buckets suit sub-second latencies and
-    per-transaction gas: powers of 10 from 1e1 to 1e7. *)
+    per-transaction gas: powers of 10 from 1e1 to 1e7. Labeled names
+    (see {!labeled}) raise [Invalid_argument] — only counters and
+    gauges support labels. *)
 
 val observe : histogram -> float -> unit
 val histogram_count : histogram -> int

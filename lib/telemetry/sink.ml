@@ -5,8 +5,12 @@ type t = {
 
 (* ---------------- JSONL trace writer ---------------- *)
 
-let jsonl path =
-  let oc = open_out path in
+let jsonl ?(append = false) path =
+  let oc =
+    if append then
+      open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+    else open_out path
+  in
   let buf = Buffer.create (1 lsl 16) in
   let flush_buf () =
     Buffer.output_buffer oc buf;

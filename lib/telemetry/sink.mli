@@ -11,11 +11,14 @@ type t = {
           and release resources here *)
 }
 
-val jsonl : string -> t
+val jsonl : ?append:bool -> string -> t
 (** [jsonl path] appends one compact JSON object per event to [path]
     (truncating any existing file), buffered in memory and flushed when
     the buffer passes 64 KiB and on finalize. The finalize closes the
-    channel. *)
+    channel. With [~append:true] an existing file is extended instead
+    of truncated — the per-campaign sink routing of the service
+    daemon, where one campaign's trace spans many time slices, each
+    with its own short-lived sink. *)
 
 (** Bounded in-memory event store, for tests and programmatic
     inspection. When full, the oldest event is dropped. *)
