@@ -36,7 +36,8 @@ let run () =
   let budget = Exp.scaled 1500 in
   let measure (name, contract) =
     let config =
-      { Mufuzz.Config.default with max_executions = budget; rng_seed = 77L }
+      { Mufuzz.Config.default with max_executions = budget; rng_seed = 77L;
+        predict = true; predict_attempts = 10 }
     in
     let report = Mufuzz.Campaign.run ~config contract in
     let json =

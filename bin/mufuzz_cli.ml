@@ -58,6 +58,27 @@ let round_batch_arg =
                  cost of staler worker coverage snapshots; ignored at \
                  --jobs 1.")
 
+let predict_arg =
+  Arg.(value & flag & info [ "predict" ]
+         ~doc:"Enable input prediction for hard branches: when a frontier \
+               branch keeps being reached without flipping, solve candidate \
+               values from the comparison operands recorded in its trace \
+               (exact value for EQ, boundaries for orderings) and write them \
+               into the seed through the mutation mask. Off by default, \
+               keeping campaigns bit-for-bit identical to earlier builds.")
+
+let predict_attempts_arg =
+  Arg.(value & opt int Mufuzz.Config.default.predict_attempts
+       & info [ "predict-attempts" ] ~docv:"N"
+           ~doc:"Failed flips of a frontier branch before the prediction \
+                 phase fires for it (with $(b,--predict)).")
+
+let predict_candidates_arg =
+  Arg.(value & opt int Mufuzz.Config.default.predict_max_candidates
+       & info [ "predict-candidates" ] ~docv:"N"
+           ~doc:"Proposal executions one prediction firing may spend (with \
+                 $(b,--predict)).")
+
 let tool_arg =
   Arg.(value & opt string "MuFuzz" & info [ "tool" ] ~docv:"TOOL"
          ~doc:"Fuzzer profile: MuFuzz, sFuzz, ConFuzzius, Smartian, IR-Fuzz.")
@@ -163,7 +184,8 @@ let write_metrics_file metrics = function
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
-  let run file budget seed jobs round_batch tool disabled out do_minimize
+  let run file budget seed jobs round_batch predict predict_attempts
+      predict_candidates tool disabled out do_minimize
       corpus_in corpus_out json trace status_interval metrics_out
       strict_corpus artifacts_dir max_seconds checkpoint_dir checkpoint_every
       checkpoint_seconds checkpoint_keep verbose =
@@ -180,6 +202,9 @@ let fuzz_cmd =
       { Mufuzz.Config.default with max_executions = budget; rng_seed = seed;
         jobs = Stdlib.max 1 jobs;
         round_batch = Stdlib.max 1 round_batch; trace_path = trace;
+        predict;
+        predict_attempts = Stdlib.max 1 predict_attempts;
+        predict_max_candidates = Stdlib.max 1 predict_candidates;
         strict_corpus;
         status_interval = Stdlib.max 0.0 status_interval;
         max_seconds = Stdlib.max 0.0 max_seconds;
@@ -327,7 +352,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a contract and report coverage and findings.")
     Term.(const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg
-          $ round_batch_arg $ tool_arg
+          $ round_batch_arg $ predict_arg $ predict_attempts_arg
+          $ predict_candidates_arg $ tool_arg
           $ ablation_arg $ out_arg $ minimize_arg $ corpus_in_arg $ corpus_out_arg
           $ json_arg $ trace_arg $ status_interval_arg $ metrics_arg
           $ strict_corpus_arg $ artifacts_arg $ max_seconds_arg

@@ -1,0 +1,18 @@
+pragma solidity ^0.4.26;
+
+// Magic-value gate for the input-prediction differential: the unlock
+// code is computed at runtime (48271 * 65537 = 3163536527), so neither
+// push-constant dictionaries nor random mutation find it — only
+// comparison-operand tracing plus the magic-value solver does.
+contract StrictGuard {
+  uint256 unlocked;
+
+  function open(uint256 code) public {
+    require(code == 48271 * 65537);
+    unlocked = unlocked + 1;
+  }
+
+  function poke(uint256 x) public {
+    if (x > 1000) { unlocked = unlocked; }
+  }
+}

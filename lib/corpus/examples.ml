@@ -388,6 +388,41 @@ contract SharedWallet {
 }
 |}
 
+let strict_guard =
+  {|
+contract StrictGuard {
+  uint256 unlocked;
+
+  function open(uint256 code) public {
+    require(code == 48271 * 65537);
+    unlocked = unlocked + 1;
+  }
+
+  function poke(uint256 x) public {
+    if (x > 1000) { unlocked = unlocked; }
+  }
+}
+|}
+
+let guarded_token =
+  {|
+contract GuardedToken {
+  mapping(address => uint256) balances;
+  uint256 total;
+
+  function mint(uint256 amount) public {
+    require(amount == 1000000000);
+    balances[msg.sender] = balances[msg.sender] + amount;
+    total = total + amount;
+  }
+
+  function transfer(address to, uint256 amount) public {
+    balances[msg.sender] = balances[msg.sender] - amount;
+    balances[to] = balances[to] + amount;
+  }
+}
+|}
+
 let all =
   [
     ("Crowdsale", crowdsale);
@@ -404,4 +439,6 @@ let all =
     ("Vesting", vesting);
     ("Casino", casino);
     ("SharedWallet", wallet);
+    ("StrictGuard", strict_guard);
+    ("GuardedToken", guarded_token);
   ]

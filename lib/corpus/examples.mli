@@ -55,5 +55,20 @@ val wallet : string
 (** Two-owner wallet whose payout needs both approvals — a deep
     multi-transaction, multi-sender state machine. *)
 
+val strict_guard : string
+(** Magic-value gate the random mutator cannot pass: the unlock code is
+    the runtime product of two pushed constants, so neither the
+    dictionary nor havoc sees the full 32-bit value — only comparison
+    tracing plus the prediction solver covers the guarded side. The
+    fixture for the [--predict] differential tests. *)
+
+val guarded_token : string
+(** ERC20-style token where mint demands an exact large literal and
+    transfer carries the classic unchecked subtraction (IO). The
+    literal sits whole in the bytecode's push constants, so the
+    per-contract mutation dictionary alone solves the mint guard — the
+    complement fixture to [strict_guard] in the dictionary regression
+    tests. *)
+
 val all : (string * string) list
 (** [(name, source)] for every example above. *)

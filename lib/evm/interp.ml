@@ -46,17 +46,20 @@ let default_config =
   { max_call_depth = 8; attacker = Some attacker_address; max_reentries = 1 }
 
 (* A stack cell: the word plus taint, the id of the external call whose
-   status it is (if any), and branch-distance information inherited from
-   the comparison that produced it. *)
+   status it is (if any), branch-distance information inherited from the
+   comparison that produced it, and the comparison site itself (operator,
+   concrete operands, per-side taint) so JUMPI can hand the input
+   predictor the raw material to flip the branch. *)
 type cell = {
   v : U.t;
   taint : T.t;
   call_site : int option;
   dist : (float * float) option;  (* (to make true, to make false) *)
+  cmp : Trace.comparison option;
 }
 
-let pure v = { v; taint = T.none; call_site = None; dist = None }
-let with_taint taint v = { v; taint; call_site = None; dist = None }
+let pure v = { v; taint = T.none; call_site = None; dist = None; cmp = None }
+let with_taint taint v = { v; taint; call_site = None; dist = None; cmp = None }
 let dummy_cell = pure U.zero
 
 (* Operand-stack pool, one 1024-slot array per call depth, reused across
@@ -303,7 +306,8 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
       emit ctx (Balance_compare { pc = pc_; strict_eq = op = Opcode.EQ })
   in
   let binop f a b =
-    { v = f a.v b.v; taint = T.union a.taint b.taint; call_site = None; dist = None }
+    { v = f a.v b.v; taint = T.union a.taint b.taint; call_site = None;
+      dist = None; cmp = None }
   in
   let run_subcall ~kind ~gas_req ~target ~value ~indata ~sub_storage_addr
       ~sub_code_addr cur_pc target_taint =
@@ -451,12 +455,21 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
         | _ -> assert false
       in
       let r = if f a.v b.v then U.one else U.zero in
+      let cmp_op : Trace.cmp_op =
+        match cmp with
+        | LT -> Clt | GT -> Cgt | SLT -> Cslt | SGT -> Csgt | EQ -> Ceq
+        | _ -> assert false
+      in
       push
         {
           v = r;
           taint = T.union a.taint b.taint;
           call_site = (match (a.call_site, b.call_site) with Some i, _ -> Some i | _, s -> s);
           dist = Some (cmp_dist cmp a.v b.v);
+          cmp =
+            Some
+              { Trace.cmp_pc = cur_pc; cmp_op; lhs = a.v; rhs = b.v;
+                lhs_taint = a.taint; rhs_taint = b.taint; negated = false };
         }
     | ISZERO ->
       let a = pop () in
@@ -467,8 +480,18 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
           let d = U.to_float a.v in
           Some ((if d = 0.0 then 0.0 else d), if d = 0.0 then 1.0 else 0.0)
       in
+      let cmp =
+        match a.cmp with
+        | Some c -> Some { c with Trace.negated = not c.Trace.negated }
+        | None ->
+          (* a zero test on a non-comparison value: its own comparison
+             site (pushed value = [lhs == 0]) *)
+          Some
+            { Trace.cmp_pc = cur_pc; cmp_op = Ciszero; lhs = a.v; rhs = U.zero;
+              lhs_taint = a.taint; rhs_taint = T.none; negated = false }
+      in
       push { v = (if U.is_zero a.v then U.one else U.zero); taint = a.taint;
-             call_site = a.call_site; dist }
+             call_site = a.call_site; dist; cmp }
     | AND ->
       let a = pop () and b = pop () in
       let dist =
@@ -477,7 +500,14 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
         | Some d, None | None, Some d -> Some d
         | None, None -> None
       in
-      push { (binop U.logand a b) with dist;
+      (* a single surviving comparison site stays attached as a flipping
+         hint; two sites are ambiguous, so neither survives *)
+      let cmp =
+        match (a.cmp, b.cmp) with
+        | Some c, None | None, Some c -> Some c
+        | _ -> None
+      in
+      push { (binop U.logand a b) with dist; cmp;
              call_site = (match (a.call_site, b.call_site) with Some i, _ -> Some i | _, s -> s) }
     | OR ->
       let a = pop () and b = pop () in
@@ -487,9 +517,14 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
         | Some d, None | None, Some d -> Some d
         | None, None -> None
       in
-      push { (binop U.logor a b) with dist }
+      let cmp =
+        match (a.cmp, b.cmp) with
+        | Some c, None | None, Some c -> Some c
+        | _ -> None
+      in
+      push { (binop U.logor a b) with dist; cmp }
     | XOR -> let a = pop () and b = pop () in push (binop U.logxor a b)
-    | NOT -> let a = pop () in push { a with v = U.lognot a.v; dist = None }
+    | NOT -> let a = pop () in push { a with v = U.lognot a.v; dist = None; cmp = None }
     | BYTE ->
       let i = pop () and x = pop () in
       let idx = match U.to_int_opt i.v with Some n -> n | None -> 32 in
@@ -497,15 +532,15 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
     | SHL ->
       let n = pop () and x = pop () in
       let sh = match U.to_int_opt n.v with Some s -> s | None -> 256 in
-      push { x with v = U.shift_left x.v sh; dist = None }
+      push { x with v = U.shift_left x.v sh; dist = None; cmp = None }
     | SHR ->
       let n = pop () and x = pop () in
       let sh = match U.to_int_opt n.v with Some s -> s | None -> 256 in
-      push { x with v = U.shift_right x.v sh; dist = None }
+      push { x with v = U.shift_right x.v sh; dist = None; cmp = None }
     | SAR ->
       let n = pop () and x = pop () in
       let sh = match U.to_int_opt n.v with Some s -> s | None -> 256 in
-      push { x with v = U.shift_right_arith x.v sh; dist = None }
+      push { x with v = U.shift_right_arith x.v sh; dist = None; cmp = None }
     | SHA3 ->
       let off = pop () and len = pop () in
       let o = to_offset off and l = to_offset len in
@@ -590,7 +625,10 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
         | Some (dt, df) -> if taken then df else dt
         | None -> 1.0
       in
-      emit ctx (Branch { pc = cur_pc; taken; dist_to_flip; cond_taint = cond.taint });
+      emit ctx
+        (Branch
+           { pc = cur_pc; taken; dist_to_flip; cond_taint = cond.taint;
+             cmp = cond.cmp });
       if T.has cond.taint T.block then
         emit ctx (Block_state_use { pc = cur_pc; sink = "jumpi" });
       if T.has cond.taint T.origin then
@@ -642,7 +680,7 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
       Mem.write mem (to_offset _out_off)
         (String.sub ret 0 (Stdlib.min (String.length ret) (to_offset _out_len)));
       push { v = (if ok then U.one else U.zero); taint = T.callresult;
-             call_site = Some id; dist = None }
+             call_site = Some id; dist = None; cmp = None }
     | DELEGATECALL ->
       let gas = pop () and target = pop () in
       let in_off = pop () and in_len = pop () in
@@ -658,7 +696,7 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
       Mem.write mem (to_offset _out_off)
         (String.sub ret 0 (Stdlib.min (String.length ret) (to_offset _out_len)));
       push { v = (if ok then U.one else U.zero); taint = T.callresult;
-             call_site = Some id; dist = None }
+             call_site = Some id; dist = None; cmp = None }
     | STATICCALL ->
       let gas = pop () and target = pop () in
       let in_off = pop () and in_len = pop () in
@@ -674,7 +712,7 @@ let rec exec_frame ctx (state : State.t) ~depth ~code_addr ~storage_addr
       Mem.write mem (to_offset _out_off)
         (String.sub ret 0 (Stdlib.min (String.length ret) (to_offset _out_len)));
       push { v = (if ok then U.one else U.zero); taint = T.callresult;
-             call_site = Some id; dist = None }
+             call_site = Some id; dist = None; cmp = None }
     | RETURN ->
       let off = pop () and len = pop () in
       raise (Halted (H_return (Mem.read mem (to_offset off) (to_offset len))))

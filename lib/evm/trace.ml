@@ -22,8 +22,29 @@ let call_kind_to_string = function
   | Delegatecall -> "DELEGATECALL"
   | Staticcall -> "STATICCALL"
 
+type cmp_op = Ceq | Clt | Cgt | Cslt | Csgt | Ciszero
+
+let cmp_op_to_string = function
+  | Ceq -> "EQ"
+  | Clt -> "LT"
+  | Cgt -> "GT"
+  | Cslt -> "SLT"
+  | Csgt -> "SGT"
+  | Ciszero -> "ISZERO"
+
+type comparison = {
+  cmp_pc : int;
+  cmp_op : cmp_op;
+  lhs : Word.U256.t;
+  rhs : Word.U256.t;
+  lhs_taint : Taint.t;
+  rhs_taint : Taint.t;
+  negated : bool;
+}
+
 type event =
-  | Branch of { pc : int; taken : bool; dist_to_flip : float; cond_taint : Taint.t }
+  | Branch of { pc : int; taken : bool; dist_to_flip : float;
+                cond_taint : Taint.t; cmp : comparison option }
   | Storage_write of { slot : Word.U256.t; value : Word.U256.t; pc : int;
                        after_external_call : bool }
   | Storage_read of { slot : Word.U256.t; pc : int }

@@ -36,6 +36,31 @@ type call_kind = Call | Delegatecall | Staticcall
 
 val call_kind_to_string : call_kind -> string
 
+(** Operator of the comparison a JUMPI condition derives from.
+    [Ciszero] is a bare ISZERO on a non-comparison value (a zero test);
+    ISZEROs {e applied to} a comparison toggle {!comparison.negated}
+    instead. *)
+type cmp_op = Ceq | Clt | Cgt | Cslt | Csgt | Ciszero
+
+val cmp_op_to_string : cmp_op -> string
+
+(** The comparison site a branch condition was computed from, with the
+    concrete operands observed at run time — the raw material for
+    Harvey-style input prediction. For [Ciszero], [rhs] is zero and only
+    [lhs] is meaningful. The branch condition equals
+    [eval cmp_op lhs rhs] XOR [negated], except when the comparison
+    reached the JUMPI through AND/OR (then it is one conjunct's site,
+    kept as a flipping hint). *)
+type comparison = {
+  cmp_pc : int;  (** instruction index of the comparison opcode *)
+  cmp_op : cmp_op;
+  lhs : Word.U256.t;
+  rhs : Word.U256.t;
+  lhs_taint : Taint.t;
+  rhs_taint : Taint.t;
+  negated : bool;  (** odd number of ISZEROs between comparison and JUMPI *)
+}
+
 type event =
   | Branch of {
       pc : int;  (** instruction index of the JUMPI *)
@@ -44,6 +69,8 @@ type event =
           (** sFuzz-style branch distance to the side {e not} taken;
               [1.0] when the condition carried no comparison info. *)
       cond_taint : Taint.t;
+      cmp : comparison option;
+          (** comparison site the condition derives from, if any *)
     }
   | Storage_write of { slot : Word.U256.t; value : Word.U256.t; pc : int;
                        after_external_call : bool }

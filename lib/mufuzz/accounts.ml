@@ -11,5 +11,7 @@ let sender_base = U.of_hex_string "0x5e4de4"
 let sender_pool n =
   attacker :: List.init (Stdlib.max 0 (n - 1)) (fun i -> U.add sender_base (U.of_int i))
 
+let caller_pool n = sender_pool n @ [ deployer ]
+
 let address_dictionary n =
   sender_pool n @ [ deployer; contract_address; U.zero ]

@@ -13,6 +13,13 @@ val contract_address : Evm.State.address
 val sender_pool : int -> Evm.State.address list
 (** [n] senders; index 0 is the attacker. *)
 
+val caller_pool : int -> Evm.State.address list
+(** The callable universe: the sender pool plus the deployer as the
+    final slot. Random seed generation only ever draws sender indices
+    below [n], so the deployer slot is reached exclusively through
+    deliberate choice — the input-prediction solver proposing a sender
+    swap onto an owner-equality guard. *)
+
 val address_dictionary : int -> Evm.State.address list
 (** All addresses worth trying as an [address] argument, for a pool of
     the given size: senders, deployer, contract, zero. *)

@@ -100,6 +100,7 @@ type snapshot = {
   sn_findings : (Oracles.Oracle.finding * Seed.t) list;
   sn_occ : (Oracles.Oracle.key * int) list;
   sn_over_time : Report.checkpoint list;
+  sn_attempts : ((int * bool) * int) list;
 }
 
 let snapshot_entry_of_entry (e : entry) =
@@ -131,7 +132,7 @@ let entry_of_snapshot_entry (se : snapshot_entry) =
    valid while the campaign keeps mutating. *)
 let capture_snapshot ~execs ~steps ~mask_probes ~cursor ~rng ~rng_counter
     ~elapsed ~queue ~best_for_branch ~coverage ~weight_table ~witness_seeds
-    ~occ ~checkpoints =
+    ~occ ~checkpoints ~attempts =
   let seen = ref [] in
   let count = ref 0 in
   let id_of e =
@@ -178,6 +179,9 @@ let capture_snapshot ~execs ~steps ~mask_probes ~cursor ~rng ~rng_counter
     sn_findings = List.rev witness_seeds;
     sn_occ = sorted_occurrences occ;
     sn_over_time = List.rev checkpoints;
+    sn_attempts =
+      Hashtbl.fold (fun br n acc -> (br, n) :: acc) attempts []
+      |> List.sort compare;
   }
 
 (* Rebuild the seed pool of a snapshot. [sn_best] was recorded in
@@ -231,8 +235,20 @@ let make_ctx config (contract : Minisol.Contract.t) =
     x_contract = contract;
     x_info = Analysis.Statevars.analyze contract.ast;
     x_cfg = Analysis.Cfg.build contract.bytecode;
-    (* contract-specific magic numbers for the mutation dictionary *)
-    x_dict = Array.of_list (Evm.Bytecode.push_constants contract.bytecode);
+    (* contract-specific magic numbers for the mutation dictionary,
+       straight off the pre-decoded artifact (same words as
+       [Bytecode.push_constants], already collected and memoised).
+       Under [predict] the callable account universe joins the
+       dictionary too, so address-typed words keep landing on accounts
+       the sender-swap solver can later impersonate — without the flag
+       the dictionary is exactly the pre-prediction one, preserving
+       default campaigns byte-for-byte. *)
+    x_dict =
+      (let consts = (Evm.Bytecode.artifact contract.bytecode).a_push_constants in
+       if config.predict then
+         Array.append consts
+           (Array.of_list (Accounts.caller_pool config.n_senders))
+       else consts);
     x_static = Oracles.Oracle.static_info_of contract;
     x_abi = contract.abi;
   }
@@ -293,6 +309,8 @@ type meters = {
   m_findings : Telemetry.Metrics.counter;
   m_enqueued : Telemetry.Metrics.counter;
   m_probes : Telemetry.Metrics.counter;
+  m_predict_proposed : Telemetry.Metrics.counter;
+  m_predict_flipped : Telemetry.Metrics.counter;
   m_covered : Telemetry.Metrics.gauge;
 }
 
@@ -303,6 +321,11 @@ let make_meters metrics =
     m_findings = c "mufuzz_findings_total" "distinct (bug class, pc) findings";
     m_enqueued = c "mufuzz_seeds_enqueued_total" "seeds added to the selection queue";
     m_probes = c "mufuzz_mask_probes_total" "Algorithm-2 mask probe executions";
+    m_predict_proposed =
+      c "mufuzz_predict_proposed_total" "input-prediction proposals executed";
+    m_predict_flipped =
+      c "mufuzz_predict_flipped_total"
+        "frontier branch sides covered by a prediction proposal";
     m_covered =
       Telemetry.Metrics.gauge metrics "mufuzz_covered_sides"
         ~help:"branch sides covered so far";
@@ -392,6 +415,120 @@ let mutate_sequence ctx rng (seed : Seed.t) =
                                     ~n_senders:config.n_senders fn ]) })
   end
 
+(* ---------------- input prediction (hybrid fuzzing) ---------------- *)
+
+(* Count a run's visits to still-uncovered branch flip sides. The table
+   drives the prediction trigger: once a frontier side has been reached
+   [predict_attempts] times without flipping, the solver fires for it. *)
+let note_flip_attempts ~coverage attempts (results : Executor.tx_result list) =
+  List.iter
+    (fun (r : Executor.tx_result) ->
+      List.iter
+        (function
+          | Evm.Trace.Branch { pc; taken; _ } ->
+            let other = (pc, not taken) in
+            if not (Coverage.is_covered coverage other) then
+              Hashtbl.replace attempts other
+                (1 + Option.value ~default:0 (Hashtbl.find_opt attempts other))
+          | _ -> ())
+        r.trace.Evm.Trace.events)
+    results
+
+(* The comparison site guarding frontier side [(pc, want)] in a replay
+   that reached its other side: the solver's target, tagged with the
+   transaction whose input feeds it. *)
+let comparison_for_branch (results : Executor.tx_result list) (pc, want) =
+  List.find_map
+    (fun (r : Executor.tx_result) ->
+      List.find_map
+        (function
+          | Evm.Trace.Branch { pc = p; taken; cmp = Some c; _ }
+            when p = pc && taken = not want ->
+            Some (r.tx_index, c)
+          | _ -> None)
+        r.trace.Evm.Trace.events)
+    results
+
+(* Proposal seeds for flipping frontier side [want] of the comparison
+   [cmp] reached by [e.seed]'s transaction [tx_index]: mask-respecting
+   stream patches of each solved value (calldata / msg.value operands),
+   plus a sender swap when the operand is the caller address — the
+   solved value then IS the address the guard wants, so the proposal is
+   the pool account holding it rather than a byte patch. Deduplicated,
+   capped at [predict_max_candidates]. *)
+let predict_proposals ctx (e : entry) ~tx_index ~(cmp : Evm.Trace.comparison)
+    ~want =
+  let config = ctx.x_config in
+  let module T = Evm.Trace.Taint in
+  match List.nth_opt e.seed.Seed.txs tx_index with
+  | None -> []
+  | Some tx ->
+    (* the mask-interaction invariant: solved bytes land only where the
+       cached Algorithm-2 mask admits an overwrite (no mask yet means
+       nothing is known to be protected) *)
+    let allow pos =
+      match Hashtbl.find_opt e.masks tx_index with
+      | Some msk -> Mask.allows msk Mutation.O ~pos
+      | None -> true
+    in
+    let args_len = Abi.args_byte_length tx.Seed.fn in
+    let cands = Predict.Solver.candidates cmp ~want in
+    let of_stream stream =
+      Seed.with_tx e.seed tx_index { tx with Seed.stream }
+    in
+    let stream_patches =
+      List.concat_map
+        (fun (side, v) ->
+          let taint = Predict.Solver.side_taint cmp side in
+          if T.has taint T.calldata || T.has taint T.callvalue then
+            Predict.Inject.patches ~allow ~taint
+              ~current:(Predict.Solver.side_value cmp side)
+              ~args_len ~stream:tx.Seed.stream v
+            |> List.map of_stream
+          else [])
+        cands
+    in
+    let sender_swaps =
+      List.filter_map
+        (fun (side, v) ->
+          if not (T.has (Predict.Solver.side_taint cmp side) T.caller) then None
+          else
+            let rec find i = function
+              | [] -> None
+              | a :: rest -> if U.equal a v then Some i else find (i + 1) rest
+            in
+            match find 0 (Accounts.caller_pool config.Config.n_senders) with
+            | Some idx when idx <> tx.Seed.sender ->
+              Some (Seed.with_tx e.seed tx_index { tx with Seed.sender = idx })
+            | _ -> None)
+        cands
+    in
+    let seen = ref [] in
+    List.filter
+      (fun s ->
+        if List.mem s !seen then false
+        else begin
+          seen := s :: !seen;
+          true
+        end)
+      (stream_patches @ sender_swaps)
+    |> List.filteri (fun i _ -> i < config.Config.predict_max_candidates)
+
+(* Frontier sides whose attempt count crossed the firing threshold and
+   for which the distance pool still holds a witness entry, nearest
+   (lowest pc) first. *)
+let predict_ready (config : Config.t) ~coverage ~best_for_branch attempts =
+  Hashtbl.fold
+    (fun br n acc ->
+      if
+        n >= config.predict_attempts
+        && (not (Coverage.is_covered coverage br))
+        && Hashtbl.mem best_for_branch br
+      then br :: acc
+      else acc)
+    attempts []
+  |> List.sort compare
+
 let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
     (contract : Minisol.Contract.t) =
   (* shift the clock back by the time already spent before the
@@ -437,6 +574,11 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
         witnesses := (f, Seed.show seed) :: !witnesses;
         witness_seeds := (f, seed) :: !witness_seeds)
       s.sn_findings
+  | None -> ());
+  let attempts : (int * bool, int) Hashtbl.t = Hashtbl.create 64 in
+  (match resume with
+  | Some (_, s) ->
+    List.iter (fun (br, n) -> Hashtbl.replace attempts br n) s.sn_attempts
   | None -> ());
   let execs = ref (match resume with Some (_, s) -> s.sn_execs | None -> 0) in
   let steps = ref (match resume with Some (_, s) -> s.sn_steps | None -> 0) in
@@ -496,6 +638,8 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
     Telemetry.Bus.emit bus
       (Telemetry.Event.Exec_completed { worker = 0; fresh });
     emit_new_sides bus coverage new_sides;
+    if config.predict then
+      note_flip_attempts ~coverage attempts run.tx_results;
     if fresh then begin
       Telemetry.Metrics.set meters.m_covered
         (float_of_int (Coverage.covered_count coverage));
@@ -681,7 +825,55 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
             ~elapsed:(Unix.gettimeofday () -. start_time)
             ~queue:!queue ~best_for_branch ~coverage
             ~weight_table:!weight_table ~witness_seeds:!witness_seeds ~occ
-            ~checkpoints:!checkpoints)
+            ~checkpoints:!checkpoints ~attempts)
+  in
+  (* ---------------- prediction phase ---------------- *)
+  (* Fires once per outer-loop pass over every ready frontier side:
+     replay the pool's closest seed to recover the guarding comparison
+     (one execution — comparisons are not stored in entries or
+     snapshots), then spend up to [predict_max_candidates] executions on
+     solved proposals. A firing that fails to flip leaves the attempt
+     counter negative by the accumulated count, so each retry waits
+     longer than the last — the backoff lives in the attempts table and
+     therefore survives checkpoints. Entirely inert when [predict] is
+     off: no RNG draws, no executions, no control-flow change. *)
+  let predict_phase () =
+    if config.predict then
+      List.iter
+        (fun br ->
+          if budget_left () && not (Coverage.is_covered coverage br) then begin
+            let fired_at =
+              Option.value ~default:0 (Hashtbl.find_opt attempts br)
+            in
+            Hashtbl.replace attempts br 0;
+            let _, e = Hashtbl.find best_for_branch br in
+            let replay, _ = exec_and_observe e.seed in
+            (match comparison_for_branch replay.Executor.tx_results br with
+            | None -> ()
+            | Some (tx_index, cmp) ->
+              List.iter
+                (fun cand ->
+                  if budget_left () && not (Coverage.is_covered coverage br)
+                  then begin
+                    Telemetry.Metrics.incr meters.m_predict_proposed;
+                    let run, fresh = exec_and_observe cand in
+                    if fresh then begin
+                      let e' = mk_entry cand run in
+                      queue_add e';
+                      note_entry e'
+                    end;
+                    if Coverage.is_covered coverage br then begin
+                      Telemetry.Metrics.incr meters.m_predict_flipped;
+                      Log.info (fun m ->
+                          m "predict: flipped (%d,%B) at exec %d" (fst br)
+                            (snd br) !execs)
+                    end
+                  end)
+                (predict_proposals ctx e ~tx_index ~cmp ~want:(snd br)));
+            if not (Coverage.is_covered coverage br) then
+              Hashtbl.replace attempts br (-fired_at)
+          end)
+        (predict_ready config ~coverage ~best_for_branch attempts)
   in
   (* A hook may raise [Preempt] from a non-final safe point to yield the
      campaign: the loop exits immediately with [Report.Preempted], the
@@ -699,6 +891,7 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
     done;
   while budget_left () && Array.length !queue > 0 do
     safe_point ~final:false;
+    predict_phase ();
     (* Branch-distance-feedback selection (Algorithm 1 lines 8-13): most
        picks go to the seed closest to some still-uncovered branch. *)
     let entry =
@@ -853,6 +1046,9 @@ type task_result = {
   t_findings : (Oracles.Oracle.finding * Seed.t) list;  (* execution order *)
   t_weights : ((int * bool) * float) list;
   t_cov : Coverage.t;
+  t_attempts : ((int * bool) * int) list;
+      (* flip-attempt counts against the round-start snapshot; [] when
+         prediction is off *)
 }
 
 (* One worker-round group: a slice of the round's chosen seed-energy
@@ -870,6 +1066,7 @@ let fuzz_group_task ctx ~bus ~xctxs ~group ~quota ~mask_allowance
   let config = ctx.x_config in
   let execs = ref 0 and steps = ref 0 and probes = ref 0 in
   let cands = ref [] and findings = ref [] and weights = ref [] in
+  let attempts : (int * bool, int) Hashtbl.t = Hashtbl.create 16 in
   let quota_left () = !execs < quota in
   let xctx = xctxs.(worker) in
   let exec_and_observe seed =
@@ -884,6 +1081,7 @@ let fuzz_group_task ctx ~bus ~xctxs ~group ~quota ~mask_allowance
     (* freshness here is judged against the round-start snapshot; the
        coordinator re-judges candidates globally at merge time *)
     Telemetry.Bus.emit bus (Telemetry.Event.Exec_completed { worker; fresh });
+    if config.predict then note_flip_attempts ~coverage:cov attempts run.tx_results;
     let executions =
       List.map (fun (r : Executor.tx_result) -> (r.tx_index, r.success, r.trace))
         run.tx_results
@@ -1026,6 +1224,9 @@ let fuzz_group_task ctx ~bus ~xctxs ~group ~quota ~mask_allowance
     t_findings = List.rev !findings;
     t_weights = List.rev !weights;
     t_cov = cov;
+    t_attempts =
+      Hashtbl.fold (fun br n acc -> (br, n) :: acc) attempts []
+      |> List.sort compare;
   }
 
 let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
@@ -1067,6 +1268,11 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
         witnesses := (f, Seed.show seed) :: !witnesses;
         witness_seeds := (f, seed) :: !witness_seeds)
       s.sn_findings
+  | None -> ());
+  let attempts : (int * bool, int) Hashtbl.t = Hashtbl.create 64 in
+  (match resume with
+  | Some (_, s) ->
+    List.iter (fun (br, n) -> Hashtbl.replace attempts br n) s.sn_attempts
   | None -> ());
   let execs = ref (match resume with Some (_, s) -> s.sn_execs | None -> 0) in
   let steps = ref (match resume with Some (_, s) -> s.sn_steps | None -> 0) in
@@ -1215,6 +1421,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
     in
     Telemetry.Bus.emit bus (Telemetry.Event.Exec_completed { worker; fresh });
     emit_new_sides bus coverage new_sides;
+    if config.predict then note_flip_attempts ~coverage attempts results;
     if fresh then
       Telemetry.Metrics.set meters.m_covered
         (float_of_int (Coverage.covered_count coverage));
@@ -1292,7 +1499,66 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
             ~elapsed:(Unix.gettimeofday () -. start_time)
             ~queue:!queue ~best_for_branch ~coverage
             ~weight_table:!weight_table ~witness_seeds:!witness_seeds ~occ
-            ~checkpoints:!checkpoints)
+            ~checkpoints:!checkpoints ~attempts)
+  in
+  (* ---------------- prediction phase ---------------- *)
+  (* Coordinator-only, fired between rounds while the workers are parked
+     at the barrier: worker 0's executor context (idle at that moment)
+     replays the pool's closest seed to recover the guarding comparison,
+     then runs the solved proposals through [observe_on_coordinator] so
+     feedback folds in exactly as for initial seeds. Inert when
+     [predict] is off. *)
+  let predict_phase () =
+    if config.predict then begin
+      let fired = ref false in
+      let xctx = xctxs.(0) in
+      List.iter
+        (fun br ->
+          if budget_left () && not (Coverage.is_covered coverage br) then begin
+            fired := true;
+            let fired_at =
+              Option.value ~default:0 (Hashtbl.find_opt attempts br)
+            in
+            Hashtbl.replace attempts br 0;
+            let _, e = Hashtbl.find best_for_branch br in
+            let replay = Executor.run_in_ctx xctx e.seed in
+            execs_by_worker.(0) <- execs_by_worker.(0) + 1;
+            ignore
+              (observe_on_coordinator ~worker:0 e.seed
+                 replay.Executor.tx_results replay.Executor.received_value);
+            (match comparison_for_branch replay.Executor.tx_results br with
+            | None -> ()
+            | Some (tx_index, cmp) ->
+              List.iter
+                (fun cand ->
+                  if budget_left () && not (Coverage.is_covered coverage br)
+                  then begin
+                    Telemetry.Metrics.incr meters.m_predict_proposed;
+                    let run = Executor.run_in_ctx xctx cand in
+                    execs_by_worker.(0) <- execs_by_worker.(0) + 1;
+                    let fresh =
+                      observe_on_coordinator ~worker:0 cand
+                        run.Executor.tx_results run.Executor.received_value
+                    in
+                    if fresh then begin
+                      let e' = mk_entry cand run.Executor.tx_results in
+                      queue_add e';
+                      note_entry e'
+                    end;
+                    if Coverage.is_covered coverage br then begin
+                      Telemetry.Metrics.incr meters.m_predict_flipped;
+                      Log.info (fun m ->
+                          m "predict: flipped (%d,%B) at exec %d" (fst br)
+                            (snd br) !execs)
+                    end
+                  end)
+                (predict_proposals ctx e ~tx_index ~cmp ~want:(snd br)));
+            if not (Coverage.is_covered coverage br) then
+              Hashtbl.replace attempts br (-fired_at)
+          end)
+        (predict_ready config ~coverage ~best_for_branch attempts);
+      if !fired then Executor.flush xctx
+    end
   in
   emit_resumed ~bus ~metrics resume;
   (* ---------------- initial seeds ---------------- *)
@@ -1336,9 +1602,9 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
     let want = Stdlib.min (jobs * Stdlib.max 1 config.round_batch) rem in
     (* up to [want] distinct seeds, picked with the sequential policy *)
     let chosen = ref [] in
-    let attempts = ref 0 in
-    while List.length !chosen < want && !attempts < 4 * want do
-      incr attempts;
+    let tries = ref 0 in
+    while List.length !chosen < want && !tries < 4 * want do
+      incr tries;
       let entry =
         let frontier =
           Hashtbl.fold
@@ -1459,6 +1725,14 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
         List.iter (fun (f, seed) -> note_findings seed [ f ]) tr.t_findings;
         merge_weights tr.t_weights;
         Coverage.merge ~into:coverage tr.t_cov;
+        (* sum worker attempt counts, dropping sides the merged coverage
+           has since flipped — they no longer need prediction *)
+        List.iter
+          (fun (br, n) ->
+            if not (Coverage.is_covered coverage br) then
+              Hashtbl.replace attempts br
+                (n + Option.value ~default:0 (Hashtbl.find_opt attempts br)))
+          tr.t_attempts;
         checkpoint ();
         merge_seconds := !merge_seconds +. (Unix.gettimeofday () -. t0));
     if !round_execs = 0 then incr zero_rounds else zero_rounds := 0;
@@ -1489,6 +1763,9 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
         m "round %d: %d seeds in %d tasks, %d execs, coverage %d sides" !rounds
           k ntasks !round_execs
           (Coverage.covered_count coverage));
+    (* after the merge (so attempt counts are current) and before the
+       next round's quota split, which needs a non-empty remainder *)
+    if budget_left () then predict_phase ();
     safe_point ~final:false
   done
   with Preempt -> preempted := true);

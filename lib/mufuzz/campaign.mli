@@ -57,6 +57,10 @@ type snapshot = {
       (** deduplicated findings with their witness seeds, oldest first *)
   sn_occ : (Oracles.Oracle.key * int) list;  (** occurrence counts *)
   sn_over_time : Report.checkpoint list;  (** coverage growth so far *)
+  sn_attempts : ((int * bool) * int) list;
+      (** flip-attempt counts per still-uncovered frontier side, sorted;
+          drives the input-prediction trigger and is always [[]] when
+          [Config.predict] is off *)
 }
 
 val run :

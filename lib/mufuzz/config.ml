@@ -21,6 +21,11 @@ type t = {
   mask_max_probes : int;
   mask_budget_fraction : float;
   sequence_mutation_prob : float;
+  (* input prediction (hybrid fuzzing): solve magic values for frontier
+     branches from recorded comparison operands *)
+  predict : bool;
+  predict_attempts : int;  (* failed flips of a branch before prediction fires *)
+  predict_max_candidates : int;  (* proposal executions per firing *)
   attacker_enabled : bool;
   state_caching : bool;
   initial_corpus : Seed.t list;
@@ -59,6 +64,9 @@ let default =
     mask_max_probes = 24;
     mask_budget_fraction = 0.15;
     sequence_mutation_prob = 0.15;
+    predict = false;
+    predict_attempts = 25;
+    predict_max_candidates = 12;
     attacker_enabled = true;
     state_caching = true;
     initial_corpus = [];
@@ -118,6 +126,9 @@ let to_json t =
       ("mask_max_probes", J.Int t.mask_max_probes);
       ("mask_budget_fraction", J.Float t.mask_budget_fraction);
       ("sequence_mutation_prob", J.Float t.sequence_mutation_prob);
+      ("predict", J.Bool t.predict);
+      ("predict_attempts", J.Int t.predict_attempts);
+      ("predict_max_candidates", J.Int t.predict_max_candidates);
       ("attacker_enabled", J.Bool t.attacker_enabled);
       ("state_caching", J.Bool t.state_caching);
       ("initial_corpus", J.List (List.map Seed.to_json t.initial_corpus));
@@ -179,6 +190,23 @@ let of_json ~abi j =
   let* mask_max_probes = int "mask_max_probes" in
   let* mask_budget_fraction = flt "mask_budget_fraction" in
   let* sequence_mutation_prob = flt "sequence_mutation_prob" in
+  (* the predict knobs post-date checkpoint format v1; decode them with
+     defaults so pre-prediction checkpoints keep loading *)
+  let opt_with dflt name conv =
+    match J.member name j with
+    | None -> Ok dflt
+    | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "config: missing or invalid field %s" name))
+  in
+  let* predict = opt_with default.predict "predict" J.to_bool in
+  let* predict_attempts =
+    opt_with default.predict_attempts "predict_attempts" J.to_int
+  in
+  let* predict_max_candidates =
+    opt_with default.predict_max_candidates "predict_max_candidates" J.to_int
+  in
   let* attacker_enabled = bol "attacker_enabled" in
   let* state_caching = bol "state_caching" in
   let* initial_corpus =
@@ -223,6 +251,9 @@ let of_json ~abi j =
       mask_max_probes;
       mask_budget_fraction;
       sequence_mutation_prob;
+      predict;
+      predict_attempts;
+      predict_max_candidates;
       attacker_enabled;
       state_caching;
       initial_corpus;

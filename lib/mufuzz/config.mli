@@ -58,6 +58,17 @@ type t = {
   sequence_mutation_prob : float;
       (** probability a selected seed also gets a sequence-level mutation
           (extend / duplicate / swap), §IV-A's continuing exploration *)
+  (* input prediction (hybrid fuzzing, ROADMAP item 3) *)
+  predict : bool;
+      (** solve magic values for stuck frontier branches from the
+          comparison operands recorded in traces (Harvey-style); [false]
+          (the default) keeps campaigns bit-for-bit identical to
+          pre-prediction builds *)
+  predict_attempts : int;
+      (** times a frontier branch must be reached without flipping before
+          the prediction phase fires for it *)
+  predict_max_candidates : int;
+      (** cap on proposal executions one prediction firing may spend *)
   attacker_enabled : bool;  (** install the reentrancy attacker account *)
   state_caching : bool;
       (** resume sequences from cached intermediate states (the paper's

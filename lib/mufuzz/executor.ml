@@ -53,8 +53,13 @@ let initial_state_for ~contract ~n_senders senders =
   | None ->
     let st = Minisol.Contract.deploy Evm.State.empty contract_address contract in
     let st = Evm.State.credit st deployer initial_balance in
+    (* the deployer closes the caller pool but is already funded above —
+       crediting it again would shift balances against pre-pool states *)
     let st =
-      Array.fold_left (fun st s -> Evm.State.credit st s initial_balance) st senders
+      Array.fold_left
+        (fun st s ->
+          if U.equal s deployer then st else Evm.State.credit st s initial_balance)
+        st senders
     in
     let kept =
       if List.length !memo >= memo_capacity then
@@ -91,7 +96,7 @@ type ctx = {
 }
 
 let make_ctx ~contract ~gas ~n_senders ~attacker ?cache ?metrics () =
-  let senders = Array.of_list (sender_pool n_senders) in
+  let senders = Array.of_list (Accounts.caller_pool n_senders) in
   Evm.Interp.preheat ();
   let local_counter m name help =
     Telemetry.Metrics.Local.counter (Telemetry.Metrics.counter m name ~help)

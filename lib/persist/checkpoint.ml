@@ -10,7 +10,10 @@ module J = Telemetry.Json
 
 let format_tag = "mufuzz-checkpoint"
 
-let current_version = 1
+(* v2 added the input-prediction flip-attempt counts ("attempts"); v1
+   documents decode with an empty table, so prediction simply restarts
+   its counting after resume *)
+let current_version = 2
 
 type t = {
   tool : string;
@@ -103,6 +106,13 @@ let snapshot_json (s : Mufuzz.Campaign.snapshot) =
              (fun (cp : Mufuzz.Report.checkpoint) ->
                J.Obj [ ("execs", J.Int cp.execs); ("covered", J.Int cp.covered) ])
              s.sn_over_time) );
+      ( "attempts",
+        J.List
+          (List.map
+             (fun ((pc, taken), n) ->
+               J.Obj
+                 [ ("pc", J.Int pc); ("taken", J.Bool taken); ("n", J.Int n) ])
+             s.sn_attempts) );
     ]
 
 (* Field order is fixed; [J.to_string] preserves it, so equal
@@ -260,6 +270,19 @@ let snapshot_of_json ~abi j : (Mufuzz.Campaign.snapshot, string) result =
            let* covered = field "covered" J.to_int cj in
            Ok { Mufuzz.Report.execs; covered }))
   in
+  (* absent before v2 *)
+  let* sn_attempts =
+    match J.member "attempts" j with
+    | None -> Ok []
+    | Some (J.List l) ->
+      map_result
+        (fun aj ->
+          let* br = branch_of_json aj in
+          let* n = field "n" J.to_int aj in
+          Ok (br, n))
+        l
+    | Some _ -> Error "ill-typed field \"attempts\""
+  in
   Ok
     {
       Mufuzz.Campaign.sn_execs;
@@ -277,6 +300,7 @@ let snapshot_of_json ~abi j : (Mufuzz.Campaign.snapshot, string) result =
       sn_findings;
       sn_occ;
       sn_over_time;
+      sn_attempts;
     }
 
 let of_json json =

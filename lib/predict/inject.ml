@@ -1,0 +1,68 @@
+(* Mapping solved values back into a transaction's byte stream.
+
+   A seed tx stream is the ABI argument words followed by one 32-byte
+   msg.value word; taint tells us which region the flipping operand was
+   read from (calldata -> argument words, callvalue -> the value word).
+   Byte-level provenance is not tracked, so every word window of the
+   region is a candidate site — windows whose current content equals the
+   operand value observed at the comparison are ranked first, since they
+   almost certainly ARE the operand.
+
+   The mask interaction invariant lives here: a solved byte is only ever
+   written where [allow] admits mutation. A window where some byte that
+   would need to change is mask-protected is skipped entirely — a
+   partially-written magic value cannot hit its comparison, it would
+   just burn budget. *)
+
+module U = Word.U256
+module T = Evm.Trace.Taint
+
+let word = 32
+
+(* Aligned windows of the stream region(s) the taint points at. *)
+let windows ~taint ~args_len ~stream_len =
+  let arg_windows =
+    if not (T.has taint T.calldata) then []
+    else
+      let rec go at acc =
+        if at + word <= Stdlib.min args_len stream_len then
+          go (at + word) (at :: acc)
+        else List.rev acc
+      in
+      go 0 []
+  in
+  let value_window =
+    if T.has taint T.callvalue && args_len + word <= stream_len then [ args_len ]
+    else []
+  in
+  arg_windows @ value_window
+
+let read_window stream at = U.of_bytes_be (String.sub stream at word)
+
+(* Write [value]'s big-endian bytes into the window at [at], touching
+   only bytes that actually differ and only if [allow] admits every one
+   of them. *)
+let patch ~allow ~stream ~at value =
+  if at + word > String.length stream then None
+  else begin
+    let bytes = U.to_bytes_be value in
+    let ok = ref true in
+    for i = 0 to word - 1 do
+      if stream.[at + i] <> bytes.[i] && not (allow (at + i)) then ok := false
+    done;
+    if not !ok then None
+    else if String.sub stream at word = bytes then None  (* no-op patch *)
+    else
+      Some
+        (String.init (String.length stream) (fun i ->
+             if i >= at && i < at + word then bytes.[i - at] else stream.[i]))
+  end
+
+(* All mask-respecting single-window patches for one solved value,
+   best-evidence windows (current content = the observed operand) first. *)
+let patches ~allow ~taint ~current ~args_len ~stream value =
+  let ws = windows ~taint ~args_len ~stream_len:(String.length stream) in
+  let matching, rest =
+    List.partition (fun at -> U.equal (read_window stream at) current) ws
+  in
+  List.filter_map (fun at -> patch ~allow ~stream ~at value) (matching @ rest)

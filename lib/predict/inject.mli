@@ -1,0 +1,35 @@
+(** Writing solved values into seed transaction streams through the
+    mutation mask.
+
+    Invariant: solved bytes only ever land in positions [allow] admits;
+    a window needing a protected byte is skipped whole rather than
+    partially patched. *)
+
+val word : int
+(** Window width: 32 bytes, one ABI word. *)
+
+val windows :
+  taint:Evm.Trace.Taint.t -> args_len:int -> stream_len:int -> int list
+(** Candidate aligned window offsets for an operand with this taint:
+    the argument words for calldata, the trailing value word for
+    msg.value. Windows that do not fit the stream are dropped. *)
+
+val read_window : string -> int -> Word.U256.t
+
+val patch :
+  allow:(int -> bool) -> stream:string -> at:int -> Word.U256.t -> string option
+(** One-window write of the value's 32 big-endian bytes. [None] if the
+    window does not fit, if any byte that would change is not admitted
+    by [allow], or if the window already holds the value. *)
+
+val patches :
+  allow:(int -> bool) ->
+  taint:Evm.Trace.Taint.t ->
+  current:Word.U256.t ->
+  args_len:int ->
+  stream:string ->
+  Word.U256.t ->
+  string list
+(** Every viable single-window patch of the stream, windows whose
+    current content equals [current] (the operand value observed at the
+    comparison — the strongest provenance evidence) first. *)

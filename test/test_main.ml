@@ -5,4 +5,5 @@ let () =
     @ Test_oracles.suite @ Test_mufuzz.suite @ Test_baselines.suite
     @ Test_corpus.suite @ Test_parallel.suite @ Test_telemetry.suite
     @ Test_differential.suite @ Test_triage.suite @ Test_hotloop.suite
-    @ Test_golden.suite @ Test_persist.suite @ Test_batch.suite @ Test_serve.suite)
+    @ Test_golden.suite @ Test_persist.suite @ Test_batch.suite @ Test_serve.suite
+    @ Test_predict.suite)

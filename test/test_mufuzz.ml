@@ -164,7 +164,7 @@ let coverage_tests =
         let trace taken =
           { Evm.Trace.status = Evm.Trace.Success;
             events = [ Evm.Trace.Branch { pc = 3; taken; dist_to_flip = 2.0;
-                                          cond_taint = 0 } ];
+                                          cond_taint = 0; cmp = None } ];
             return_data = ""; gas_used = 0; steps = 0 }
         in
         Alcotest.(check bool) "first" true (Mufuzz.Coverage.record cov (trace true));
@@ -175,7 +175,7 @@ let coverage_tests =
         let trace =
           { Evm.Trace.status = Evm.Trace.Success;
             events = [ Evm.Trace.Branch { pc = 7; taken = true; dist_to_flip = 5.0;
-                                          cond_taint = 0 } ];
+                                          cond_taint = 0; cmp = None } ];
             return_data = ""; gas_used = 0; steps = 0 }
         in
         ignore (Mufuzz.Coverage.record cov trace);
@@ -188,7 +188,7 @@ let coverage_tests =
         let trace taken =
           { Evm.Trace.status = Evm.Trace.Success;
             events = [ Evm.Trace.Branch { pc = 7; taken; dist_to_flip = 5.0;
-                                          cond_taint = 0 } ];
+                                          cond_taint = 0; cmp = None } ];
             return_data = ""; gas_used = 0; steps = 0 }
         in
         ignore (Mufuzz.Coverage.record cov (trace true));
@@ -199,8 +199,8 @@ let coverage_tests =
         let trace =
           { Evm.Trace.status = Evm.Trace.Success;
             events =
-              [ Evm.Trace.Branch { pc = 7; taken = true; dist_to_flip = 5.0; cond_taint = 0 };
-                Evm.Trace.Branch { pc = 7; taken = true; dist_to_flip = 2.0; cond_taint = 0 } ];
+              [ Evm.Trace.Branch { pc = 7; taken = true; dist_to_flip = 5.0; cond_taint = 0; cmp = None };
+                Evm.Trace.Branch { pc = 7; taken = true; dist_to_flip = 2.0; cond_taint = 0; cmp = None } ];
             return_data = ""; gas_used = 0; steps = 0 }
         in
         Alcotest.(check (option (float 0.001))) "min" (Some 2.0)

@@ -16,7 +16,7 @@ let trace_of events =
 
 let branch (pc, taken, d) =
   Evm.Trace.Branch
-    { pc; taken; dist_to_flip = float_of_int d +. 0.5; cond_taint = 0 }
+    { pc; taken; dist_to_flip = float_of_int d +. 0.5; cond_taint = 0; cmp = None }
 
 (* small pc range so traces collide on branch identities often *)
 let events_gen =
