@@ -62,26 +62,35 @@ let parallel () =
   let c = Lazy.force contract in
   let budget = Exp.scaled 3000 in
   let measure jobs =
+    (* a fresh registry per measurement so the coordinator-probe gate
+       reads this run's counters, not the cumulative session *)
+    let metrics = Telemetry.Metrics.create () in
     let config =
       { Mufuzz.Config.default with max_executions = budget; jobs }
     in
     let t0 = Unix.gettimeofday () in
-    let r = Mufuzz.Campaign.run_parallel ~config c in
+    let r = Mufuzz.Campaign.run_parallel ~config ~metrics c in
     let wall = Unix.gettimeofday () -. t0 in
-    (r.Mufuzz.Report.executions, wall)
+    let coord_probes =
+      Telemetry.Metrics.value
+        (Telemetry.Metrics.counter metrics "mufuzz_mask_probes_coordinator_total"
+           ~help:"")
+    in
+    (r, wall, coord_probes)
   in
   ignore (measure 1) (* warm-up: fault in code paths before timing *);
   let rows =
     List.map
       (fun jobs ->
-        let execs, wall = measure jobs in
+        let r, wall, coord_probes = measure jobs in
+        let execs = r.Mufuzz.Report.executions in
         let rate = float_of_int execs /. wall in
         Printf.printf "  jobs=%d  %6d execs  %6.2fs  %8.1f execs/sec\n%!"
           jobs execs wall rate;
-        (jobs, execs, wall, rate))
+        (jobs, r, wall, rate, coord_probes))
       [ 1; 2; 4 ]
   in
-  let base = match rows with (_, _, _, r) :: _ -> r | [] -> 1.0 in
+  let base = match rows with (_, _, _, r, _) :: _ -> r | [] -> 1.0 in
   let host_cores = Domain.recommended_domain_count () in
   (* speedup-per-core normalises by the cores a job count can actually
      use: jobs=4 on a 2-core host is judged against 2 cores, not 4 *)
@@ -89,7 +98,7 @@ let parallel () =
     speedup /. float_of_int (Stdlib.max 1 (Stdlib.min jobs host_cores))
   in
   List.iter
-    (fun (jobs, _, _, rate) ->
+    (fun (jobs, _, _, rate, _) ->
       if jobs > 1 then
         Printf.printf "  jobs=%d  speedup %.2fx  (%.2fx per usable core)\n%!"
           jobs (rate /. base)
@@ -101,7 +110,7 @@ let parallel () =
       \  \"benchmark\": \"MuFuzz campaign on crowdsale.sol, budget %d, seed %Ld\",\n\
       \  \"host_cores\": %d,\n\
       \  \"round_batch\": %d,\n\
-      \  \"note\": \"speedup is bounded by host_cores; on a single-core host all job counts time-slice one CPU\",\n\
+      \  \"note\": \"speedup is bounded by host_cores; on a single-core host all job counts time-slice one CPU. mask_probes_coordinator must be 0 for jobs > 1: probing is batched inside worker tasks\",\n\
       \  \"results\": [\n%s\n\
       \  ]\n\
        }\n"
@@ -109,13 +118,33 @@ let parallel () =
       Mufuzz.Config.default.round_batch
       (String.concat ",\n"
          (List.map
-            (fun (jobs, execs, wall, rate) ->
+            (fun (jobs, (r : Mufuzz.Report.t), wall, rate, coord_probes) ->
+              let mw, idle =
+                match r.parallel with
+                | Some p -> (p.merge_wait_seconds, p.worker_idle_seconds)
+                | None -> (0.0, 0.0)
+              in
+              (* merge-wait as a fraction of the coordinator's wall
+                 clock; idle as a fraction of the workers' summed wall
+                 clock *)
+              let mw_ratio = if wall > 0.0 then mw /. wall else 0.0 in
+              let idle_ratio =
+                if wall > 0.0 && jobs > 1 then
+                  idle /. (float_of_int jobs *. wall)
+                else 0.0
+              in
               Printf.sprintf
                 "    { \"jobs\": %d, \"execs\": %d, \"wall_seconds\": %.3f, \
                  \"execs_per_sec\": %.1f, \"speedup\": %.2f, \
-                 \"speedup_per_core\": %.2f }"
-                jobs execs wall rate (rate /. base)
-                (per_core jobs (rate /. base)))
+                 \"speedup_per_core\": %.2f, \"mask_probes\": %d, \
+                 \"mask_probes_coordinator\": %d, \
+                 \"predict_proposals\": %d, \
+                 \"merge_wait_seconds\": %.4f, \"merge_wait_ratio\": %.4f, \
+                 \"worker_idle_seconds\": %.4f, \"worker_idle_ratio\": %.4f }"
+                jobs r.executions wall rate (rate /. base)
+                (per_core jobs (rate /. base))
+                r.mask_probes coord_probes r.predict_proposals mw mw_ratio idle
+                idle_ratio)
             rows))
   in
   Exp.write_file "BENCH_parallel.json" json

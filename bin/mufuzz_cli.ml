@@ -50,13 +50,42 @@ let jobs_arg =
                sequential loop; N>1 shards seed-energy batches across N \
                cores, merging coverage at batch boundaries.")
 
+(* [--round-batch] takes a positive integer or the literal "auto";
+   0, negatives and garbage are structured parse errors (exit 124)
+   rather than a silent clamp deep in the campaign *)
+let round_batch_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "auto" -> Ok `Auto
+    | t -> (
+      match int_of_string_opt t with
+      | Some n when n >= 1 -> Ok (`Fixed n)
+      | Some n ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "round-batch must be a positive integer or 'auto', got %d" n))
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "round-batch must be a positive integer or 'auto', got %S" s)))
+  in
+  let print ppf = function
+    | `Auto -> Format.pp_print_string ppf "auto"
+    | `Fixed n -> Format.pp_print_int ppf n
+  in
+  Arg.conv ~docv:"N|auto" (parse, print)
+
 let round_batch_arg =
-  Arg.(value & opt int Mufuzz.Config.default.round_batch
-       & info [ "round-batch" ] ~docv:"N"
+  Arg.(value & opt round_batch_conv (`Fixed Mufuzz.Config.default.round_batch)
+       & info [ "round-batch" ] ~docv:"N|auto"
            ~doc:"Seeds each worker domain fuzzes per parallel round. Larger \
                  values amortise coordination (fewer merge barriers) at the \
-                 cost of staler worker coverage snapshots; ignored at \
-                 --jobs 1.")
+                 cost of staler worker coverage snapshots; 'auto' starts at \
+                 the default and lets a hysteretic controller widen or \
+                 narrow the batch from the observed merge-stall ratio. \
+                 Ignored at --jobs 1.")
 
 let predict_arg =
   Arg.(value & flag & info [ "predict" ]
@@ -201,7 +230,12 @@ let fuzz_cmd =
     let config =
       { Mufuzz.Config.default with max_executions = budget; rng_seed = seed;
         jobs = Stdlib.max 1 jobs;
-        round_batch = Stdlib.max 1 round_batch; trace_path = trace;
+        round_batch =
+          (match round_batch with
+          | `Fixed n -> n
+          | `Auto -> Mufuzz.Config.default.round_batch);
+        round_batch_auto = (round_batch = `Auto);
+        trace_path = trace;
         predict;
         predict_attempts = Stdlib.max 1 predict_attempts;
         predict_max_candidates = Stdlib.max 1 predict_candidates;
@@ -303,8 +337,14 @@ let fuzz_cmd =
       Format.printf "%a@." Mufuzz.Report.pp_summary report;
       (match report.parallel with
       | Some p ->
-        Printf.printf "parallel: %d domains, %d rounds, %.2fs merging, %d steals\n"
-          p.jobs p.rounds p.merge_seconds p.steals;
+        Printf.printf
+          "parallel: %d domains, %d rounds, %.2fs merging, %.2fs merge-wait, \
+           %d steals%s\n"
+          p.jobs p.rounds p.merge_seconds p.merge_wait_seconds p.steals
+          (if p.round_batch_auto then
+             Printf.sprintf " (round-batch auto: %d->%d)" p.round_batch
+               p.round_batch_final
+           else "");
         List.iter
           (fun (d : Mufuzz.Report.domain_stat) ->
             Printf.printf "  domain %d: %d execs, %.1f execs/sec, %.2fs stall\n"

@@ -63,6 +63,30 @@ let frontier_dists_of_results coverage (results : Executor.tx_result list) =
 let frontier_dists_of_run coverage (run : Executor.run) =
   frontier_dists_of_results coverage run.tx_results
 
+(* Algorithm-2 probe verdict: did the mutant still hit one of the
+   seed's nested branches, or get closer to a frontier side than the
+   seed's baseline distance? Shared by the sequential and worker
+   probing paths so both fold batch results identically. *)
+let mask_feedback ~baseline_nested ~baseline_dists (run : Executor.run) =
+  let hits_nested =
+    baseline_nested <> []
+    && List.exists
+         (fun br -> List.mem br baseline_nested)
+         (nested_hits_of_run run)
+  in
+  let distance_decreased =
+    List.exists
+      (fun (br, base_d) ->
+        List.exists
+          (fun (r : Executor.tx_result) ->
+            match Coverage.trace_min_distance r.trace br with
+            | Some d -> d < base_d
+            | None -> false)
+          run.tx_results)
+      baseline_dists
+  in
+  { Mask.hits_nested; distance_decreased }
+
 (* Triage identity of one alarm occurrence: the call path is the
    function-name prefix of the witnessing sequence up to (and including)
    the raising transaction; whole-contract findings (tx_index = -1,
@@ -101,6 +125,10 @@ type snapshot = {
   sn_occ : (Oracles.Oracle.key * int) list;
   sn_over_time : Report.checkpoint list;
   sn_attempts : ((int * bool) * int) list;
+  (* v3: round-batch auto-tune controller state + proposal counter *)
+  sn_round_batch : int;
+  sn_rb_votes : int;
+  sn_predict_proposals : int;
 }
 
 let snapshot_entry_of_entry (e : entry) =
@@ -132,7 +160,7 @@ let entry_of_snapshot_entry (se : snapshot_entry) =
    valid while the campaign keeps mutating. *)
 let capture_snapshot ~execs ~steps ~mask_probes ~cursor ~rng ~rng_counter
     ~elapsed ~queue ~best_for_branch ~coverage ~weight_table ~witness_seeds
-    ~occ ~checkpoints ~attempts =
+    ~occ ~checkpoints ~attempts ~round_batch ~rb_votes ~predict_proposals =
   let seen = ref [] in
   let count = ref 0 in
   let id_of e =
@@ -182,6 +210,9 @@ let capture_snapshot ~execs ~steps ~mask_probes ~cursor ~rng ~rng_counter
     sn_attempts =
       Hashtbl.fold (fun br n acc -> (br, n) :: acc) attempts []
       |> List.sort compare;
+    sn_round_batch = round_batch;
+    sn_rb_votes = rb_votes;
+    sn_predict_proposals = predict_proposals;
   }
 
 (* Rebuild the seed pool of a snapshot. [sn_best] was recorded in
@@ -309,6 +340,7 @@ type meters = {
   m_findings : Telemetry.Metrics.counter;
   m_enqueued : Telemetry.Metrics.counter;
   m_probes : Telemetry.Metrics.counter;
+  m_probes_coord : Telemetry.Metrics.counter;
   m_predict_proposed : Telemetry.Metrics.counter;
   m_predict_flipped : Telemetry.Metrics.counter;
   m_covered : Telemetry.Metrics.gauge;
@@ -321,6 +353,10 @@ let make_meters metrics =
     m_findings = c "mufuzz_findings_total" "distinct (bug class, pc) findings";
     m_enqueued = c "mufuzz_seeds_enqueued_total" "seeds added to the selection queue";
     m_probes = c "mufuzz_mask_probes_total" "Algorithm-2 mask probe executions";
+    m_probes_coord =
+      c "mufuzz_mask_probes_coordinator_total"
+        "mask probes executed on the coordinator domain (zero whenever \
+         jobs > 1: probing runs inside worker tasks)";
     m_predict_proposed =
       c "mufuzz_predict_proposed_total" "input-prediction proposals executed";
     m_predict_flipped =
@@ -750,6 +786,9 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
   let mask_probes_used =
     ref (match resume with Some (_, s) -> s.sn_mask_probes | None -> 0)
   in
+  let predict_proposed =
+    ref (match resume with Some (_, s) -> s.sn_predict_proposals | None -> 0)
+  in
   let mask_budget_left () =
     float_of_int !mask_probes_used
     < config.mask_budget_fraction *. float_of_int config.max_executions
@@ -764,42 +803,34 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
       let baseline_dists = e.frontier_dists in
       if baseline_nested = [] && baseline_dists = [] then None
       else begin
-        let probe mutant_stream =
-          if not (budget_left ()) then
-            { Mask.hits_nested = false; distance_decreased = false }
-          else begin
-            let probe_seed =
-              Seed.with_tx e.seed tx_index { tx with stream = mutant_stream }
-            in
-            incr mask_probes_used;
-            let run, _ = exec_and_observe probe_seed in
-            let hits_nested =
-              baseline_nested <> []
-              && List.exists
-                   (fun br -> List.mem br baseline_nested)
-                   (nested_hits_of_run run)
-            in
-            let distance_decreased =
-              List.exists
-                (fun (br, base_d) ->
-                  List.exists
-                    (fun (r : Executor.tx_result) ->
-                      match Coverage.trace_min_distance r.trace br with
-                      | Some d -> d < base_d
-                      | None -> false)
-                    run.tx_results)
-                baseline_dists
-            in
-            { Mask.hits_nested; distance_decreased }
-          end
+        (* staged Algorithm 2: the plan draws from [rng] exactly as the
+           interleaved [Mask.compute] would, then each probe executes in
+           plan order — the parallel runner batches this same schedule
+           through the worker pool *)
+        let pl =
+          Mask.plan rng ~stride:config.mask_stride
+            ~max_probes:config.mask_max_probes tx.stream
         in
         let probes_before = !mask_probes_used in
-        let m =
-          Mask.compute rng ~stride:config.mask_stride
-            ~max_probes:config.mask_max_probes ~probe tx.stream
+        let feedbacks =
+          Array.map
+            (fun (p : Mask.probe) ->
+              if not (budget_left ()) then None
+              else begin
+                let probe_seed =
+                  Seed.with_tx e.seed tx_index
+                    { tx with stream = p.probe_stream }
+                in
+                incr mask_probes_used;
+                let run, _ = exec_and_observe probe_seed in
+                Some (mask_feedback ~baseline_nested ~baseline_dists run)
+              end)
+            (Mask.probes pl)
         in
+        let m = Mask.finish pl feedbacks in
         let spent = !mask_probes_used - probes_before in
         Telemetry.Metrics.add meters.m_probes spent;
+        Telemetry.Metrics.add meters.m_probes_coord spent;
         Telemetry.Bus.emit bus
           (Telemetry.Event.Mask_updated { tx_index; probes = spent });
         if Hashtbl.length e.masks < config.mask_cache_max then
@@ -825,7 +856,9 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
             ~elapsed:(Unix.gettimeofday () -. start_time)
             ~queue:!queue ~best_for_branch ~coverage
             ~weight_table:!weight_table ~witness_seeds:!witness_seeds ~occ
-            ~checkpoints:!checkpoints ~attempts)
+            ~checkpoints:!checkpoints ~attempts
+            ~round_batch:(Stdlib.max 1 config.round_batch) ~rb_votes:0
+            ~predict_proposals:!predict_proposed)
   in
   (* ---------------- prediction phase ---------------- *)
   (* Fires once per outer-loop pass over every ready frontier side:
@@ -856,6 +889,7 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
                   if budget_left () && not (Coverage.is_covered coverage br)
                   then begin
                     Telemetry.Metrics.incr meters.m_predict_proposed;
+                    incr predict_proposed;
                     let run, fresh = exec_and_observe cand in
                     if fresh then begin
                       let e' = mk_entry cand run in
@@ -994,6 +1028,8 @@ let run ?(config = Config.default) ?(sinks = []) ?metrics ?resume ?on_safe_point
       Report.contract_name = contract.name;
       executions = !execs;
       steps = !steps;
+      mask_probes = !mask_probes_used;
+      predict_proposals = !predict_proposed;
       covered_branches = Coverage.covered_count coverage;
       covered = List.sort compare (Coverage.covered coverage);
       total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points cfg);
@@ -1061,6 +1097,10 @@ type task_result = {
    execution goes through the worker's persistent context, so telemetry
    reaches the shared registry once per task (the coordinator accounts
    the campaign-level exec/probe counters at merge). *)
+(* probes per [Executor.run_batch] dispatch inside a worker's mask
+   refresh: four stride anchors x four operator kinds *)
+let probe_wave_width = 16
+
 let fuzz_group_task ctx ~bus ~xctxs ~group ~quota ~mask_allowance
     ~best_snapshot ~cov rng worker =
   let config = ctx.x_config in
@@ -1069,8 +1109,9 @@ let fuzz_group_task ctx ~bus ~xctxs ~group ~quota ~mask_allowance
   let attempts : (int * bool, int) Hashtbl.t = Hashtbl.create 16 in
   let quota_left () = !execs < quota in
   let xctx = xctxs.(worker) in
-  let exec_and_observe seed =
-    let run = Executor.run_in_ctx xctx seed in
+  (* feedback fold for one already-executed run: batch dispatch below
+     reuses it so wave results land exactly as per-probe execution did *)
+  let observe_run seed (run : Executor.run) =
     incr execs;
     steps := !steps + run.Executor.logical_steps;
     let fresh =
@@ -1101,6 +1142,7 @@ let fuzz_group_task ctx ~bus ~xctxs ~group ~quota ~mask_allowance
         run.tx_results;
     (run, fresh)
   in
+  let exec_and_observe seed = observe_run seed (Executor.run_in_ctx xctx seed) in
   let get_mask (entry : entry) tx_index =
     match Hashtbl.find_opt entry.masks tx_index with
     | Some m -> Some m
@@ -1111,43 +1153,49 @@ let fuzz_group_task ctx ~bus ~xctxs ~group ~quota ~mask_allowance
       let baseline_dists = entry.frontier_dists in
       if baseline_nested = [] && baseline_dists = [] then None
       else begin
-        let probe mutant_stream =
-          if (not (quota_left ())) || !probes >= mask_allowance then
-            { Mask.hits_nested = false; distance_decreased = false }
-          else begin
-            let probe_seed =
-              Seed.with_tx entry.seed tx_index { tx with stream = mutant_stream }
-            in
-            incr probes;
-            let run, _ = exec_and_observe probe_seed in
-            let hits_nested =
-              baseline_nested <> []
-              && List.exists
-                   (fun br -> List.mem br baseline_nested)
-                   (nested_hits_of_run run)
-            in
-            let distance_decreased =
-              List.exists
-                (fun (br, base_d) ->
-                  List.exists
-                    (fun (r : Executor.tx_result) ->
-                      match Coverage.trace_min_distance r.trace br with
-                      | Some d -> d < base_d
-                      | None -> false)
-                    run.tx_results)
-                baseline_dists
-            in
-            { Mask.hits_nested; distance_decreased }
-          end
+        (* staged Algorithm 2: plan the probe schedule, execute it in
+           stride-grouped waves through the batch executor, fold the
+           feedback back. Probes are the only executions inside a mask
+           refresh, so the affordable prefix computed up front admits
+           exactly the probes the sequential per-probe budget checks
+           would have *)
+        let pl =
+          Mask.plan rng ~stride:config.mask_stride
+            ~max_probes:config.mask_max_probes tx.stream
         in
-        let probes_before = !probes in
-        let m =
-          Mask.compute rng ~stride:config.mask_stride
-            ~max_probes:config.mask_max_probes ~probe tx.stream
+        let all = Mask.probes pl in
+        let afford =
+          Stdlib.min (Array.length all)
+            (Stdlib.min
+               (Stdlib.max 0 (quota - !execs))
+               (Stdlib.max 0 (mask_allowance - !probes)))
         in
-        let spent = !probes - probes_before in
+        let feedbacks = Array.make (Array.length all) None in
+        let executed = ref 0 in
+        List.iter
+          (fun (wave : Mask.probe array) ->
+            if !executed < afford then begin
+              let wlen = Stdlib.min (Array.length wave) (afford - !executed) in
+              let base = !executed in
+              let seeds =
+                List.init wlen (fun k ->
+                    Seed.with_tx entry.seed tx_index
+                      { tx with stream = wave.(k).Mask.probe_stream })
+              in
+              probes := !probes + wlen;
+              let runs = Executor.run_batch xctx seeds in
+              List.iteri
+                (fun k run ->
+                  ignore (observe_run (List.nth seeds k) run);
+                  feedbacks.(base + k) <-
+                    Some (mask_feedback ~baseline_nested ~baseline_dists run))
+                runs;
+              executed := !executed + wlen
+            end)
+          (Mask.waves pl ~width:probe_wave_width);
+        let m = Mask.finish pl feedbacks in
         Telemetry.Bus.emit bus
-          (Telemetry.Event.Mask_updated { tx_index; probes = spent });
+          (Telemetry.Event.Mask_updated { tx_index; probes = !executed });
         if Hashtbl.length entry.masks < config.mask_cache_max then
           Hashtbl.replace entry.masks tx_index m;
         Some m
@@ -1293,6 +1341,9 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
   let mask_probes_used =
     ref (match resume with Some (_, s) -> s.sn_mask_probes | None -> 0)
   in
+  let predict_proposed =
+    ref (match resume with Some (_, s) -> s.sn_predict_proposals | None -> 0)
+  in
   let deadline =
     if config.max_seconds > 0.0 then Some (start_time +. config.max_seconds)
     else None
@@ -1337,6 +1388,63 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
   let execs_by_worker = Array.make jobs 0 in
   let rounds = ref 0 in
   let merge_seconds = ref 0.0 in
+  (* --round-batch auto: a bounded hysteretic controller over the round
+     batch width. Between merge barriers it reads the pool's per-round
+     stall deltas — worker seconds parked mid-batch plus coordinator
+     seconds blocked at the barrier, over total round seconds — and
+     widens the batch (x2, capped) after [rb_hysteresis] consecutive
+     stalled rounds, narrows it (/2, floored at 1) after as many cheap
+     ones. Width and vote counter ride in the snapshot (v3) so a
+     resumed campaign continues the trajectory instead of resetting. *)
+  let rb_max = 32 in
+  let rb_high = 0.25 and rb_low = 0.10 in
+  let rb_hysteresis = 2 in
+  let rb_width =
+    ref
+      (match resume with
+      | Some (_, s) when config.round_batch_auto && s.sn_round_batch > 0 ->
+        Stdlib.min rb_max s.sn_round_batch
+      | _ -> Stdlib.max 1 config.round_batch)
+  in
+  let rb_votes =
+    ref
+      (match resume with
+      | Some (_, s) when config.round_batch_auto -> s.sn_rb_votes
+      | _ -> 0)
+  in
+  let auto_tune_round ~(s0 : Pool.stats) ~(s1 : Pool.stats) =
+    let sumd a b =
+      Array.fold_left ( +. ) 0.0 a -. Array.fold_left ( +. ) 0.0 b
+    in
+    let idle = sumd s1.stall_seconds s0.stall_seconds in
+    let busy = sumd s1.busy_seconds s0.busy_seconds in
+    let mwait = s1.merge_wait_seconds -. s0.merge_wait_seconds in
+    let denom = busy +. idle +. mwait in
+    let ratio = if denom > 0.0 then (idle +. mwait) /. denom else 0.0 in
+    let vote =
+      if ratio > rb_high then 1 else if ratio < rb_low then -1 else 0
+    in
+    if vote = 0 then rb_votes := 0
+    else if !rb_votes * vote < 0 then rb_votes := vote
+    else rb_votes := !rb_votes + vote;
+    if !rb_votes >= rb_hysteresis then begin
+      rb_votes := 0;
+      if !rb_width < rb_max then begin
+        rb_width := Stdlib.min rb_max (!rb_width * 2);
+        Log.debug (fun m ->
+            m "round-batch auto: stall ratio %.2f, widen to %d" ratio !rb_width)
+      end
+    end
+    else if !rb_votes <= -rb_hysteresis then begin
+      rb_votes := 0;
+      if !rb_width > 1 then begin
+        rb_width := Stdlib.max 1 (!rb_width / 2);
+        Log.debug (fun m ->
+            m "round-batch auto: stall ratio %.2f, narrow to %d" ratio
+              !rb_width)
+      end
+    end
+  in
   let restored_queue, restored_best =
     match resume with
     | Some (_, s) -> restore_pool s
@@ -1447,12 +1555,16 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
     checkpoint ();
     fresh
   in
-  (* execute a coordinator-generated seed list across the pool, merging
-     in seed order so feedback folds in exactly as sequentially *)
-  let execute_seeds_parallel ~enqueue seeds =
+  (* run a coordinator-generated seed list across the pool, returning
+     [(index, worker, seed, run)] sorted back into submission order —
+     the shared dispatch under initial seeds, black-box batches and the
+     batched predict phase; callers fold the runs in order so feedback
+     lands exactly as a sequential pass would *)
+  let run_seeds_across_pool seeds =
     let indexed = List.mapi (fun i s -> (i, s)) seeds in
     let ntasks = Stdlib.min jobs (List.length indexed) in
-    if ntasks > 0 then begin
+    if ntasks = 0 then []
+    else begin
       let tasks =
         Array.init ntasks (fun j ->
             let mine = List.filter (fun (i, _) -> i mod ntasks = j) indexed in
@@ -1469,21 +1581,21 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
               Executor.flush xctx;
               out)
       in
-      let results =
-        Pool.run_batch pool tasks |> Array.to_list |> List.concat
-        |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
-      in
-      List.iter
-        (fun (_, worker, seed, (run : Executor.run)) ->
-          execs_by_worker.(worker) <- execs_by_worker.(worker) + 1;
-          ignore (observe_on_coordinator ~worker seed run.tx_results run.received_value);
-          if enqueue then begin
-            let e = mk_entry seed run.tx_results in
-            queue_add e;
-            note_entry e
-          end)
-        results
+      Pool.run_batch pool tasks |> Array.to_list |> List.concat
+      |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
     end
+  in
+  let execute_seeds_parallel ~enqueue seeds =
+    List.iter
+      (fun (_, worker, seed, (run : Executor.run)) ->
+        execs_by_worker.(worker) <- execs_by_worker.(worker) + 1;
+        ignore (observe_on_coordinator ~worker seed run.tx_results run.received_value);
+        if enqueue then begin
+          let e = mk_entry seed run.tx_results in
+          queue_add e;
+          note_entry e
+        end)
+      (run_seeds_across_pool seeds)
   in
   let cursor = ref (match resume with Some (_, s) -> s.sn_cursor | None -> 0) in
   (* capture between rounds, when the workers are parked at the barrier
@@ -1499,65 +1611,104 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
             ~elapsed:(Unix.gettimeofday () -. start_time)
             ~queue:!queue ~best_for_branch ~coverage
             ~weight_table:!weight_table ~witness_seeds:!witness_seeds ~occ
-            ~checkpoints:!checkpoints ~attempts)
+            ~checkpoints:!checkpoints ~attempts ~round_batch:!rb_width
+            ~rb_votes:!rb_votes ~predict_proposals:!predict_proposed)
   in
   (* ---------------- prediction phase ---------------- *)
-  (* Coordinator-only, fired between rounds while the workers are parked
-     at the barrier: worker 0's executor context (idle at that moment)
-     replays the pool's closest seed to recover the guarding comparison,
-     then runs the solved proposals through [observe_on_coordinator] so
-     feedback folds in exactly as for initial seeds. Inert when
-     [predict] is off. *)
+  (* Fired between rounds while the workers are parked at the barrier,
+     in three batched stages instead of one coordinator-serial loop:
+     (1) one replay per firing frontier side to recover the guarding
+     comparison, all replays crossing the pool as a single batch;
+     (2) the solved proposals for every side the replays left uncovered,
+     again as one batch, capped at the remaining execution budget;
+     (3) linear backoff for sides that still did not flip. Results fold
+     through [observe_on_coordinator] in submission order, so feedback
+     lands deterministically regardless of which worker ran what. The
+     only divergence from the serial loop is bounded overspend: a
+     proposal batched before a sibling proposal flips its branch still
+     executes (the serial loop would have skipped it) — the budget cap
+     itself stays exact. Inert when [predict] is off. *)
   let predict_phase () =
     if config.predict then begin
-      let fired = ref false in
-      let xctx = xctxs.(0) in
-      List.iter
-        (fun br ->
-          if budget_left () && not (Coverage.is_covered coverage br) then begin
-            fired := true;
-            let fired_at =
-              Option.value ~default:0 (Hashtbl.find_opt attempts br)
-            in
-            Hashtbl.replace attempts br 0;
-            let _, e = Hashtbl.find best_for_branch br in
-            let replay = Executor.run_in_ctx xctx e.seed in
-            execs_by_worker.(0) <- execs_by_worker.(0) + 1;
+      let ready = predict_ready config ~coverage ~best_for_branch attempts in
+      let firing =
+        List.filter_map
+          (fun br ->
+            if budget_left () && not (Coverage.is_covered coverage br) then begin
+              let fired_at =
+                Option.value ~default:0 (Hashtbl.find_opt attempts br)
+              in
+              Hashtbl.replace attempts br 0;
+              let _, e = Hashtbl.find best_for_branch br in
+              Some (br, fired_at, e)
+            end
+            else None)
+          ready
+      in
+      (* cap each stage at the remaining budget: the batch may not push
+         [execs] past [max_executions] *)
+      let rem = Stdlib.max 0 (config.max_executions - !execs) in
+      let firing = List.filteri (fun i _ -> i < rem) firing in
+      if firing <> [] then begin
+        let replays =
+          run_seeds_across_pool
+            (List.map (fun (_, _, (e : entry)) -> e.seed) firing)
+        in
+        List.iter2
+          (fun (_, _, (e : entry)) (_, worker, _, (run : Executor.run)) ->
+            execs_by_worker.(worker) <- execs_by_worker.(worker) + 1;
             ignore
-              (observe_on_coordinator ~worker:0 e.seed
-                 replay.Executor.tx_results replay.Executor.received_value);
-            (match comparison_for_branch replay.Executor.tx_results br with
-            | None -> ()
-            | Some (tx_index, cmp) ->
-              List.iter
-                (fun cand ->
-                  if budget_left () && not (Coverage.is_covered coverage br)
-                  then begin
-                    Telemetry.Metrics.incr meters.m_predict_proposed;
-                    let run = Executor.run_in_ctx xctx cand in
-                    execs_by_worker.(0) <- execs_by_worker.(0) + 1;
-                    let fresh =
-                      observe_on_coordinator ~worker:0 cand
-                        run.Executor.tx_results run.Executor.received_value
-                    in
-                    if fresh then begin
-                      let e' = mk_entry cand run.Executor.tx_results in
-                      queue_add e';
-                      note_entry e'
-                    end;
-                    if Coverage.is_covered coverage br then begin
-                      Telemetry.Metrics.incr meters.m_predict_flipped;
-                      Log.info (fun m ->
-                          m "predict: flipped (%d,%B) at exec %d" (fst br)
-                            (snd br) !execs)
-                    end
-                  end)
-                (predict_proposals ctx e ~tx_index ~cmp ~want:(snd br)));
+              (observe_on_coordinator ~worker e.seed run.tx_results
+                 run.received_value))
+          firing replays;
+        let proposals =
+          List.concat
+            (List.map2
+               (fun (br, _, e) (_, _, _, (run : Executor.run)) ->
+                 if Coverage.is_covered coverage br then []
+                 else
+                   match comparison_for_branch run.tx_results br with
+                   | None -> []
+                   | Some (tx_index, cmp) ->
+                     List.map
+                       (fun cand -> (br, cand))
+                       (predict_proposals ctx e ~tx_index ~cmp ~want:(snd br)))
+               firing replays)
+        in
+        let rem = Stdlib.max 0 (config.max_executions - !execs) in
+        let proposals = List.filteri (fun i _ -> i < rem) proposals in
+        if proposals <> [] then begin
+          let results = run_seeds_across_pool (List.map snd proposals) in
+          List.iter2
+            (fun (br, cand) (_, worker, _, (run : Executor.run)) ->
+              execs_by_worker.(worker) <- execs_by_worker.(worker) + 1;
+              Telemetry.Metrics.incr meters.m_predict_proposed;
+              incr predict_proposed;
+              let covered_before = Coverage.is_covered coverage br in
+              let fresh =
+                observe_on_coordinator ~worker cand run.tx_results
+                  run.received_value
+              in
+              if fresh then begin
+                let e' = mk_entry cand run.tx_results in
+                queue_add e';
+                note_entry e'
+              end;
+              if (not covered_before) && Coverage.is_covered coverage br
+              then begin
+                Telemetry.Metrics.incr meters.m_predict_flipped;
+                Log.info (fun m ->
+                    m "predict: flipped (%d,%B) at exec %d" (fst br) (snd br)
+                      !execs)
+              end)
+            proposals results
+        end;
+        List.iter
+          (fun (br, fired_at, _) ->
             if not (Coverage.is_covered coverage br) then
-              Hashtbl.replace attempts br (-fired_at)
-          end)
-        (predict_ready config ~coverage ~best_for_branch attempts);
-      if !fired then Executor.flush xctx
+              Hashtbl.replace attempts br (-fired_at))
+          firing
+      end
     end
   in
   emit_resumed ~bus ~metrics resume;
@@ -1599,7 +1750,7 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
        so a 3000-exec campaign crosses a handful of barriers instead of
        dozens — per-round coordination (snapshot copies, RNG derivation,
        parking/waking the pool) is the dominant parallel overhead *)
-    let want = Stdlib.min (jobs * Stdlib.max 1 config.round_batch) rem in
+    let want = Stdlib.min (jobs * !rb_width) rem in
     (* up to [want] distinct seeds, picked with the sequential policy *)
     let chosen = ref [] in
     let tries = ref 0 in
@@ -1672,6 +1823,9 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
       if Telemetry.Bus.enabled bus then Coverage.covered coverage else []
     in
     let round_execs = ref 0 in
+    let rstats0 =
+      if config.round_batch_auto then Some (Pool.stats pool) else None
+    in
     (* incremental merge: task i folds in (in submission order, so the
        merge sequence is deterministic) while tasks i+1.. are still
        running on the workers — no stop-the-world barrier *)
@@ -1735,6 +1889,9 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
           tr.t_attempts;
         checkpoint ();
         merge_seconds := !merge_seconds +. (Unix.gettimeofday () -. t0));
+    (match rstats0 with
+    | Some s0 -> auto_tune_round ~s0 ~s1:(Pool.stats pool)
+    | None -> ());
     if !round_execs = 0 then incr zero_rounds else zero_rounds := 0;
     Telemetry.Metrics.set meters.m_covered
       (float_of_int (Coverage.covered_count coverage));
@@ -1791,6 +1948,8 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
     Report.contract_name = contract.name;
     executions = !execs;
     steps = !steps;
+    mask_probes = !mask_probes_used;
+    predict_proposals = !predict_proposed;
     covered_branches = Coverage.covered_count coverage;
     covered = List.sort compare (Coverage.covered coverage);
     total_branch_sides = 2 * List.length (Analysis.Cfg.branch_points ctx.x_cfg);
@@ -1810,7 +1969,14 @@ let run_parallel_on ?(bus = Telemetry.Bus.null) ?metrics ?resume ?on_safe_point
           Report.jobs;
           rounds = !rounds;
           round_batch = Stdlib.max 1 config.round_batch;
+          round_batch_auto = config.round_batch_auto;
+          round_batch_final = !rb_width;
           merge_seconds = !merge_seconds;
+          merge_wait_seconds =
+            stats1.merge_wait_seconds -. stats0.merge_wait_seconds;
+          worker_idle_seconds =
+            Array.fold_left ( +. ) 0.0 stats1.stall_seconds
+            -. Array.fold_left ( +. ) 0.0 stats0.stall_seconds;
           steals = stats1.steals - stats0.steals;
           domains;
         };

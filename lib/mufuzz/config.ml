@@ -4,6 +4,7 @@ type t = {
   rng_seed : int64;
   jobs : int;
   round_batch : int;
+  round_batch_auto : bool;
   max_executions : int;
   gas_per_tx : int;
   n_senders : int;
@@ -47,6 +48,7 @@ let default =
     rng_seed = 42L;
     jobs = 1;
     round_batch = 2;
+    round_batch_auto = false;
     max_executions = 2000;
     gas_per_tx = 1_000_000;
     n_senders = 3;
@@ -109,6 +111,7 @@ let to_json t =
       ("rng_seed", J.String (Int64.to_string t.rng_seed));
       ("jobs", J.Int t.jobs);
       ("round_batch", J.Int t.round_batch);
+      ("round_batch_auto", J.Bool t.round_batch_auto);
       ("max_executions", J.Int t.max_executions);
       ("gas_per_tx", J.Int t.gas_per_tx);
       ("n_senders", J.Int t.n_senders);
@@ -200,6 +203,10 @@ let of_json ~abi j =
       | Some x -> Ok x
       | None -> Error (Printf.sprintf "config: missing or invalid field %s" name))
   in
+  (* round_batch_auto post-dates snapshot v2 likewise *)
+  let* round_batch_auto =
+    opt_with default.round_batch_auto "round_batch_auto" J.to_bool
+  in
   let* predict = opt_with default.predict "predict" J.to_bool in
   let* predict_attempts =
     opt_with default.predict_attempts "predict_attempts" J.to_int
@@ -234,6 +241,7 @@ let of_json ~abi j =
       rng_seed;
       jobs;
       round_batch;
+      round_batch_auto;
       max_executions;
       gas_per_tx;
       n_senders;

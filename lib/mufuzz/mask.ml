@@ -6,14 +6,24 @@ let kind_bit k = 1 lsl Mutation.kind_index k
 
 let all_bits = 0b1111
 
-let compute rng ~stride ~max_probes ~probe stream =
+(* ---------------- staged probing ---------------- *)
+
+type probe = {
+  probe_pos : int;
+  probe_kind : Mutation.kind;
+  probe_stream : string;
+}
+
+type plan = { pl_len : int; pl_stride : int; pl_probes : probe array }
+
+let plan rng ~stride ~max_probes stream =
   let len = String.length stream in
-  let bits = Array.make (Stdlib.max len 1) 0 in
-  if len = 0 then { bits; stride = 1 }
+  if len = 0 then { pl_len = 0; pl_stride = 1; pl_probes = [||] }
   else begin
     let stride = Stdlib.max 1 stride in
     (* Algorithm 2 line 2: the mutation width n is drawn once. *)
     let n = 1 + Util.Rng.int rng (Stdlib.min 8 len) in
+    let acc = ref [] in
     let probes = ref 0 in
     let i = ref 0 in
     while !i < len && !probes < max_probes do
@@ -23,23 +33,68 @@ let compute rng ~stride ~max_probes ~probe stream =
           if !probes < max_probes then begin
             incr probes;
             let mutant = Mutation.apply rng { Mutation.kind; n } ~pos stream in
-            let fb = probe mutant in
-            if fb.hits_nested || fb.distance_decreased then
-              bits.(pos) <- bits.(pos) lor kind_bit kind
+            acc :=
+              { probe_pos = pos; probe_kind = kind; probe_stream = mutant }
+              :: !acc
           end)
         Mutation.all_kinds;
       i := !i + stride
     done;
+    { pl_len = len; pl_stride = stride; pl_probes = Array.of_list (List.rev !acc) }
+  end
+
+let probes pl = pl.pl_probes
+
+let waves pl ~width =
+  (* Chunk the probe sequence at stride-anchor boundaries: all probes
+     sharing a position land in the same wave, so a wave is a whole
+     number of Algorithm-2 lines. *)
+  let width = Stdlib.max (List.length Mutation.all_kinds) width in
+  let out = ref [] in
+  let cur = ref [] in
+  let cur_n = ref 0 in
+  let cur_pos = ref (-1) in
+  Array.iter
+    (fun p ->
+      if p.probe_pos <> !cur_pos && !cur_n + List.length Mutation.all_kinds > width
+         && !cur_n > 0
+      then begin
+        out := Array.of_list (List.rev !cur) :: !out;
+        cur := [];
+        cur_n := 0
+      end;
+      cur_pos := p.probe_pos;
+      cur := p :: !cur;
+      incr cur_n)
+    pl.pl_probes;
+  if !cur_n > 0 then out := Array.of_list (List.rev !cur) :: !out;
+  List.rev !out
+
+let finish pl feedbacks =
+  let bits = Array.make (Stdlib.max pl.pl_len 1) 0 in
+  if pl.pl_len = 0 then { bits; stride = 1 }
+  else begin
+    Array.iteri
+      (fun i p ->
+        match if i < Array.length feedbacks then feedbacks.(i) else None with
+        | Some fb when fb.hits_nested || fb.distance_decreased ->
+          bits.(p.probe_pos) <- bits.(p.probe_pos) lor kind_bit p.probe_kind
+        | _ -> ())
+      pl.pl_probes;
     (* Propagate each probed verdict across the positions its stride
        window covers. *)
-    for p = 0 to len - 1 do
-      if p mod stride <> 0 then begin
-        let anchor = p - (p mod stride) in
+    for p = 0 to pl.pl_len - 1 do
+      if p mod pl.pl_stride <> 0 then begin
+        let anchor = p - (p mod pl.pl_stride) in
         bits.(p) <- bits.(anchor)
       end
     done;
-    { bits; stride }
+    { bits; stride = pl.pl_stride }
   end
+
+let compute rng ~stride ~max_probes ~probe stream =
+  let pl = plan rng ~stride ~max_probes stream in
+  finish pl (Array.map (fun p -> Some (probe p.probe_stream)) pl.pl_probes)
 
 let allows t kind ~pos =
   if pos < 0 then false

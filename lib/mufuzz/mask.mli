@@ -26,7 +26,51 @@ val compute :
 (** [compute rng ~stride ~max_probes ~probe stream] runs Algorithm 2,
     probing positions [0, stride, 2*stride, ...] (positions the stride
     skips inherit the verdict of the probed position covering them). The
-    operator width [n] is drawn once per mask, as in the paper. *)
+    operator width [n] is drawn once per mask, as in the paper.
+
+    Implemented as [plan] followed by [finish] with every probe executed
+    — the staged form below is the same algorithm split so a campaign
+    can execute the probe mutants in batches. *)
+
+(** {2 Staged form}
+
+    [plan] generates every probe mutant up front (drawing from the RNG
+    in exactly the order {!compute} does — the width [n] once, then one
+    draw sequence per mutant in (position asc, kind) order). The caller
+    executes the mutants however it likes — sequentially, in
+    [Executor.run_batch] waves, across a worker pool — and hands the
+    feedback back to {!finish}, which folds it into the same mask the
+    interleaved {!compute} would have produced. A [None] feedback marks
+    a probe that was never executed (budget exhausted); it contributes
+    no admitted bits, matching the sequential path's behaviour when the
+    probe callback runs out of budget. *)
+
+type probe = {
+  probe_pos : int;  (** stream position this probe tests *)
+  probe_kind : Mutation.kind;  (** operator class under test *)
+  probe_stream : string;  (** the mutant byte stream to execute *)
+}
+
+type plan
+(** The probe schedule for one mask: mutants in deterministic order. *)
+
+val plan : Util.Rng.t -> stride:int -> max_probes:int -> string -> plan
+(** Draw the probe schedule. Consumes the same RNG stream as
+    {!compute} with the same arguments. *)
+
+val probes : plan -> probe array
+(** All probes in execution order. Do not mutate. *)
+
+val waves : plan -> width:int -> probe array list
+(** The probe sequence chunked into waves of at most [width] probes,
+    aligned to stride-anchor boundaries: the probes for one position
+    never straddle two waves. Concatenating the waves yields {!probes}
+    in order. [width] is clamped to at least one whole position group. *)
+
+val finish : plan -> feedback option array -> t
+(** [finish plan feedbacks] builds the mask; [feedbacks.(i)] answers
+    probe [i] of {!probes} ([None] = not executed, admits nothing).
+    Missing trailing entries are treated as [None]. *)
 
 val allows : t -> Mutation.kind -> pos:int -> bool
 (** OKTOMUTATE. Positions beyond the computed range are allowed (streams

@@ -13,6 +13,7 @@ type stats = {
   tasks_run : int array;
   busy_seconds : float array;
   stall_seconds : float array;
+  merge_wait_seconds : float;
   steals : int;
 }
 
@@ -29,10 +30,13 @@ type t = {
   busy_seconds : float array;
   stall_seconds : float array;
   mutable steals : int;
+  mutable merge_wait : float;  (* coordinator seconds blocked at barriers *)
   mutable domains : unit Domain.t array;
   bus : Telemetry.Bus.t;
   m_tasks : Telemetry.Metrics.counter option;
   m_steals : Telemetry.Metrics.counter option;
+  m_merge_wait : Telemetry.Metrics.gauge option;
+  m_idle : Telemetry.Metrics.gauge option;
 }
 
 let size t = t.size
@@ -105,6 +109,9 @@ let create ?(bus = Telemetry.Bus.null) ?metrics ~jobs () =
   let handle name help =
     Option.map (fun m -> Telemetry.Metrics.counter m name ~help) metrics
   in
+  let ghandle name help =
+    Option.map (fun m -> Telemetry.Metrics.gauge m name ~help) metrics
+  in
   let t =
     {
       size = jobs;
@@ -119,6 +126,7 @@ let create ?(bus = Telemetry.Bus.null) ?metrics ~jobs () =
       busy_seconds = Array.make jobs 0.0;
       stall_seconds = Array.make jobs 0.0;
       steals = 0;
+      merge_wait = 0.0;
       domains = [||];
       bus;
       m_tasks =
@@ -126,10 +134,35 @@ let create ?(bus = Telemetry.Bus.null) ?metrics ~jobs () =
       m_steals =
         handle "mufuzz_pool_steals_total"
           "tasks stolen from a sibling worker's deque";
+      m_merge_wait =
+        ghandle "mufuzz_pool_merge_wait_seconds"
+          "cumulative coordinator seconds blocked at batch barriers";
+      m_idle =
+        ghandle "mufuzz_pool_worker_idle_seconds"
+          "cumulative worker seconds parked while a batch was in flight";
     }
   in
   t.domains <- Array.init jobs (fun i -> Domain.spawn (fun () -> worker t i));
   t
+
+(* Time a coordinator wait loop and fold it into the merge-wait total;
+   caller holds the mutex across the whole call (Condition.wait drops
+   it while parked, as usual). *)
+let timed_wait t cond =
+  let t0 = Unix.gettimeofday () in
+  while cond () do
+    Condition.wait t.batch_done t.mutex
+  done;
+  t.merge_wait <- t.merge_wait +. (Unix.gettimeofday () -. t0)
+
+(* Publish the cumulative wait gauges; caller holds the mutex. *)
+let publish_wait_metrics t =
+  (match t.m_merge_wait with
+  | Some g -> Telemetry.Metrics.set g t.merge_wait
+  | None -> ());
+  match t.m_idle with
+  | Some g -> Telemetry.Metrics.set g (Array.fold_left ( +. ) 0.0 t.stall_seconds)
+  | None -> ()
 
 exception Task_error of exn
 
@@ -156,10 +189,9 @@ let run_batch t tasks =
     t.pending <- n;
     t.in_batch <- true;
     Condition.broadcast t.work_available;
-    while t.pending > 0 do
-      Condition.wait t.batch_done t.mutex
-    done;
+    timed_wait t (fun () -> t.pending > 0);
     t.in_batch <- false;
+    publish_wait_metrics t;
     Mutex.unlock t.mutex;
     match !failure with
     | Some e -> raise (Task_error e)
@@ -207,9 +239,7 @@ let run_batch_iter t tasks ~merge =
     Condition.broadcast t.work_available;
     let next = ref 0 in
     while !next < n do
-      while not completed.(!next) do
-        Condition.wait t.batch_done t.mutex
-      done;
+      timed_wait t (fun () -> not completed.(!next));
       let i = !next in
       incr next;
       Mutex.unlock t.mutex;
@@ -224,10 +254,9 @@ let run_batch_iter t tasks ~merge =
     (* the last-merged task's worker may not have decremented [pending]
        yet; hold the batch open until it has so overlap checks stay
        sound for the next round *)
-    while t.pending > 0 do
-      Condition.wait t.batch_done t.mutex
-    done;
+    timed_wait t (fun () -> t.pending > 0);
     t.in_batch <- false;
+    publish_wait_metrics t;
     Mutex.unlock t.mutex;
     match !failure with Some e -> raise (Task_error e) | None -> ()
   end
@@ -243,6 +272,7 @@ let stats t =
       tasks_run = Array.copy t.tasks_run;
       busy_seconds = Array.copy t.busy_seconds;
       stall_seconds = Array.copy t.stall_seconds;
+      merge_wait_seconds = t.merge_wait;
       steals = t.steals;
     }
   in

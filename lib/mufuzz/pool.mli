@@ -20,7 +20,10 @@ val create :
     With [bus], every work-stealing event is emitted as
     [Pool_steal {thief; victim}]; with [metrics], workers record
     [mufuzz_pool_tasks_total] and [mufuzz_pool_steals_total] through
-    lock-free counters. Both default to off (no overhead). *)
+    lock-free counters, and the coordinator publishes the cumulative
+    [mufuzz_pool_merge_wait_seconds] / [mufuzz_pool_worker_idle_seconds]
+    gauges at the end of every batch. Both default to off (no
+    overhead). *)
 
 val size : t -> int
 (** Number of worker domains. *)
@@ -56,6 +59,11 @@ type stats = {
   stall_seconds : float array;
       (** per-worker time parked while a batch was still in flight —
           waiting for siblings to finish so the coordinator can merge *)
+  merge_wait_seconds : float;
+      (** coordinator time blocked at batch barriers: inside
+          {!run_batch}'s drain and {!run_batch_iter}'s per-index and
+          final waits — the serial-phase cost the round-batch
+          auto-tuner feeds on *)
   steals : int;  (** tasks taken from a sibling's deque *)
 }
 

@@ -33,7 +33,11 @@ type parallel_stats = {
   jobs : int;
   rounds : int;
   round_batch : int;
+  round_batch_auto : bool;
+  round_batch_final : int;
   merge_seconds : float;
+  merge_wait_seconds : float;
+  worker_idle_seconds : float;
   steals : int;
   domains : domain_stat list;
 }
@@ -42,6 +46,8 @@ type t = {
   contract_name : string;
   executions : int;
   steps : int;
+  mask_probes : int;
+  predict_proposals : int;
   covered_branches : int;
   covered : (int * bool) list;
   total_branch_sides : int;
@@ -94,6 +100,8 @@ let to_text t =
   pf "====================%s\n\n" (String.make (String.length t.contract_name) '=');
   pf "executions      : %d\n" t.executions;
   pf "evm steps       : %d\n" t.steps;
+  pf "mask probes     : %d\n" t.mask_probes;
+  pf "predictions     : %d proposals\n" t.predict_proposals;
   pf "wall time       : %.2fs\n" t.wall_seconds;
   pf "stopped because : %s\n" (stop_reason_to_string t.stop_reason);
   pf "branch coverage : %.1f%% (%d of %d sides)\n" (coverage_pct t)
@@ -131,11 +139,18 @@ let to_text t =
   (match t.parallel with
   | None -> ()
   | Some p ->
+    let rb =
+      if p.round_batch_auto then
+        Printf.sprintf "%d->%d (auto)" p.round_batch p.round_batch_final
+      else string_of_int p.round_batch
+    in
     pf
       "\n\
-       parallel execution (%d domains, %d rounds of %d seeds/domain, %.2fs \
+       parallel execution (%d domains, %d rounds of %s seeds/domain, %.2fs \
        merging, %d steals)\n"
-      p.jobs p.rounds p.round_batch p.merge_seconds p.steals;
+      p.jobs p.rounds rb p.merge_seconds p.steals;
+    pf "  coordinator merge-wait %.2fs, worker idle %.2fs\n"
+      p.merge_wait_seconds p.worker_idle_seconds;
     List.iter
       (fun d ->
         pf "  domain %d: %6d execs, %8.1f execs/sec, %.2fs merge stall\n"
@@ -174,7 +189,11 @@ let to_json t =
         ("jobs", J.Int p.jobs);
         ("rounds", J.Int p.rounds);
         ("round_batch", J.Int p.round_batch);
+        ("round_batch_auto", J.Bool p.round_batch_auto);
+        ("round_batch_final", J.Int p.round_batch_final);
         ("merge_seconds", J.Float p.merge_seconds);
+        ("merge_wait_seconds", J.Float p.merge_wait_seconds);
+        ("worker_idle_seconds", J.Float p.worker_idle_seconds);
         ("steals", J.Int p.steals);
         ( "domains",
           J.List
@@ -196,6 +215,8 @@ let to_json t =
       ("contract", J.String t.contract_name);
       ("executions", J.Int t.executions);
       ("steps", J.Int t.steps);
+      ("mask_probes", J.Int t.mask_probes);
+      ("predict_proposals", J.Int t.predict_proposals);
       ("stop_reason", J.String (stop_reason_to_string t.stop_reason));
       ("wall_seconds", J.Float t.wall_seconds);
       ( "execs_per_sec",

@@ -30,12 +30,21 @@ type domain_stat = {
 type parallel_stats = {
   jobs : int;
   rounds : int;  (** coordinator merge rounds *)
-  round_batch : int;  (** seeds shipped per domain per round *)
+  round_batch : int;  (** seeds shipped per domain per round (initial) *)
+  round_batch_auto : bool;  (** the auto-tune controller was driving *)
+  round_batch_final : int;
+      (** round batch width at campaign end — equals [round_batch]
+          unless the auto-tuner moved it *)
   merge_seconds : float;
       (** coordinator time spent merging feedback — merges overlap with
           still-running sibling tasks (incremental in-order merge), so
           this is work attributed to the coordinator, not wall-clock the
           workers spent parked *)
+  merge_wait_seconds : float;
+      (** coordinator wall-clock blocked at pool barriers waiting for
+          the next in-order result (from {!Pool.stats}) *)
+  worker_idle_seconds : float;
+      (** summed worker wall-clock parked while a batch was in flight *)
   steals : int;  (** work-stealing events in the pool *)
   domains : domain_stat list;
 }
@@ -46,6 +55,13 @@ type t = {
   steps : int;
       (** EVM opcodes dispatched across the campaign; transactions
           replayed from the prefix-state cache are excluded *)
+  mask_probes : int;
+      (** Algorithm-2 probe executions (a subset of [executions]) —
+          lets bench runs attribute wall time to probe waves vs
+          mutation rounds *)
+  predict_proposals : int;
+      (** prediction proposal executions (also a subset of
+          [executions]); 0 unless [--predict] *)
   covered_branches : int;  (** distinct (pc, side) identities exercised *)
   covered : (int * bool) list;  (** the exercised branch sides themselves *)
   total_branch_sides : int;  (** 2 x number of JUMPIs in the bytecode *)

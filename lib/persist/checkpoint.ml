@@ -12,8 +12,12 @@ let format_tag = "mufuzz-checkpoint"
 
 (* v2 added the input-prediction flip-attempt counts ("attempts"); v1
    documents decode with an empty table, so prediction simply restarts
-   its counting after resume *)
-let current_version = 2
+   its counting after resume. v3 added the round-batch auto-tune
+   controller state ("round_batch", "rb_votes") and the prediction
+   proposal counter ("predict_proposals"); v2 documents decode with
+   zeros — the controller re-seeds its width from the config and the
+   proposal total restarts, exactly the pre-v3 behaviour *)
+let current_version = 3
 
 type t = {
   tool : string;
@@ -113,6 +117,9 @@ let snapshot_json (s : Mufuzz.Campaign.snapshot) =
                J.Obj
                  [ ("pc", J.Int pc); ("taken", J.Bool taken); ("n", J.Int n) ])
              s.sn_attempts) );
+      ("round_batch", J.Int s.sn_round_batch);
+      ("rb_votes", J.Int s.sn_rb_votes);
+      ("predict_proposals", J.Int s.sn_predict_proposals);
     ]
 
 (* Field order is fixed; [J.to_string] preserves it, so equal
@@ -283,6 +290,18 @@ let snapshot_of_json ~abi j : (Mufuzz.Campaign.snapshot, string) result =
         l
     | Some _ -> Error "ill-typed field \"attempts\""
   in
+  (* absent before v3 *)
+  let opt_int name dflt =
+    match J.member name j with
+    | None -> Ok dflt
+    | Some v -> (
+      match J.to_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "ill-typed field %S" name))
+  in
+  let* sn_round_batch = opt_int "round_batch" 0 in
+  let* sn_rb_votes = opt_int "rb_votes" 0 in
+  let* sn_predict_proposals = opt_int "predict_proposals" 0 in
   Ok
     {
       Mufuzz.Campaign.sn_execs;
@@ -301,6 +320,9 @@ let snapshot_of_json ~abi j : (Mufuzz.Campaign.snapshot, string) result =
       sn_occ;
       sn_over_time;
       sn_attempts;
+      sn_round_batch;
+      sn_rb_votes;
+      sn_predict_proposals;
     }
 
 let of_json json =

@@ -402,6 +402,8 @@ let report_tests =
                 Mufuzz.Report.contract_name = "T";
                 executions = n;
                 steps = 0;
+                mask_probes = 0;
+                predict_proposals = 0;
                 covered_branches = n;
                 covered = [];
                 total_branch_sides = 2 * n;
