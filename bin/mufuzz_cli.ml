@@ -839,6 +839,303 @@ let client_cmd =
              response, 2 when the daemon is unreachable.")
     Term.(const run $ socket_arg $ port_arg $ requests_arg)
 
+(* ---------------- fleet ---------------- *)
+
+let fleet_state_arg =
+  Arg.(required & opt (some string) None & info [ "state" ] ~docv:"DIR"
+         ~doc:"Fleet state directory: the ledger, the pinned fleet config, \
+               per-shard progress and summaries. Re-running with the same \
+               DIR resumes the fleet.")
+
+let fleet_corpus_arg =
+  Arg.(required & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+         ~doc:"Sharded corpus directory (from $(b,mufuzz fleet shard)).")
+
+let fleet_config_term =
+  let tools_arg =
+    Arg.(value & opt (some string) None & info [ "tools" ] ~docv:"T1,T2"
+           ~doc:"Comma-separated fuzzer profiles. Default: the paper's five \
+                 baselines (sFuzz, ConFuzzius, Smartian, IR-Fuzz, MuFuzz).")
+  in
+  let budget_small_arg =
+    Arg.(value & opt int 1200 & info [ "budget-small" ] ~docv:"N"
+           ~doc:"Execution budget per campaign on small contracts.")
+  in
+  let budget_large_arg =
+    Arg.(value & opt int 2000 & info [ "budget-large" ] ~docv:"N"
+           ~doc:"Execution budget per campaign on large contracts.")
+  in
+  let fleet_seed_arg =
+    Arg.(value & opt int64 0L & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Fleet base seed, xor-folded into each contract's \
+                 deterministic campaign seed. 0 (the default) reproduces \
+                 the bench harness's draws.")
+  in
+  let ckpt_every_arg =
+    Arg.(value & opt int 500 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Campaign checkpoint cadence inside workers (executions) — \
+                 the replay granularity after a kill.")
+  in
+  let buckets_arg =
+    Arg.(value & opt int 10 & info [ "buckets" ] ~docv:"N"
+           ~doc:"Coverage-over-time curve resolution (Fig. 5 grid points).")
+  in
+  let build tools budget_small budget_large seed checkpoint_every buckets =
+    let config =
+      {
+        Fleet.Config.tools =
+          (match tools with
+          | None -> Fleet.Config.default.tools
+          | Some s ->
+            List.filter_map
+              (fun t ->
+                let t = String.trim t in
+                if t = "" then None else Some t)
+              (String.split_on_char ',' s));
+        budget_small;
+        budget_large;
+        seed;
+        checkpoint_every;
+        buckets;
+      }
+    in
+    match Fleet.Config.validate_tools config with
+    | Ok () when config.buckets >= 1 -> `Ok config
+    | Ok () -> `Error (false, "--buckets must be >= 1")
+    | Error e -> `Error (false, e)
+  in
+  Term.(ret
+          (const build $ tools_arg $ budget_small_arg $ budget_large_arg
+           $ fleet_seed_arg $ ckpt_every_arg $ buckets_arg))
+
+let fleet_shard_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory to write the shard files and manifest into.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"K"
+           ~doc:"Number of shards to slice the corpus into.")
+  in
+  let d1_scale_arg =
+    Arg.(value & opt (some int) None & info [ "d1-scale" ] ~docv:"S"
+           ~doc:"Generate the bench harness's D1 populations at S times \
+                 the base size (36 small + 14 large contracts per unit, \
+                 seeds 101/202, filtered at the paper's 3632-instruction \
+                 small/large threshold) instead of reading source files.")
+  in
+  let files_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Minisol contract source files to shard.")
+  in
+  let run out shards d1_scale files =
+    let entries =
+      match (d1_scale, files) with
+      | Some s, [] ->
+        if s < 1 then (Printf.eprintf "mufuzz: --d1-scale must be >= 1\n"; exit 124);
+        let keep small (spec : Corpus.Generator.spec) =
+          let c = Corpus.Generator.compile spec in
+          let n = Minisol.Contract.instruction_count c in
+          if small then n <= 3632 else n > 3632
+        in
+        let small =
+          Corpus.Generator.population ~seed:101L ~n:(36 * s)
+            Corpus.Generator.Small ~bug_rate:0.1
+          |> List.filter (keep true)
+        in
+        let large =
+          Corpus.Generator.population ~seed:202L ~n:(14 * s)
+            Corpus.Generator.Large ~bug_rate:0.1
+          |> List.filter (keep false)
+        in
+        List.map
+          (fun (spec : Corpus.Generator.spec) ->
+            { Fleet.Shard.name = spec.name; source = spec.source })
+          (small @ large)
+      | None, (_ :: _ as files) ->
+        List.map
+          (fun path ->
+            { Fleet.Shard.name =
+                Filename.remove_extension (Filename.basename path);
+              source = read_source path })
+          files
+      | Some _, _ :: _ ->
+        Printf.eprintf "mufuzz: give --d1-scale or source files, not both\n";
+        exit 124
+      | None, [] ->
+        Printf.eprintf "mufuzz: nothing to shard (give --d1-scale or files)\n";
+        exit 124
+    in
+    let manifest = Fleet.Shard.write_list ~dir:out ~shards entries in
+    Printf.printf "wrote %d contracts into %d shards under %s\n"
+      manifest.Fleet.Shard.m_total
+      (Fleet.Shard.shards manifest)
+      out;
+    List.iteri
+      (fun k (info : Fleet.Shard.shard_info) ->
+        Printf.printf "  shard %d: %s (%d contracts)\n" k info.si_file
+          info.si_count)
+      manifest.Fleet.Shard.m_shards
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:"Slice a contract corpus into hash-verified fleet shards plus a \
+             manifest. Workers later stream these files one contract at a \
+             time.")
+    Term.(const run $ out_arg $ shards_arg $ d1_scale_arg $ files_arg)
+
+let fleet_run_cmd =
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers"; "j" ] ~docv:"N"
+           ~doc:"Local worker processes to fork (ignored with --daemon).")
+  in
+  let daemon_arg =
+    Arg.(value & opt_all string [] & info [ "daemon" ] ~docv:"SOCKET"
+           ~doc:"Instead of forking workers, submit campaigns to the \
+                 $(b,mufuzz serve) daemon at this Unix socket (repeatable; \
+                 campaigns round-robin across daemons).")
+  in
+  let daemon_port_arg =
+    Arg.(value & opt_all int [] & info [ "daemon-port" ] ~docv:"PORT"
+           ~doc:"Like --daemon, for a TCP daemon on 127.0.0.1:PORT.")
+  in
+  let heartbeat_arg =
+    Arg.(value & opt float 60.0 & info [ "heartbeat-timeout" ] ~docv:"SECS"
+           ~doc:"Declare a worker hung after this many seconds of heartbeat \
+                 silence, kill it and reassign its shard lease. 0 disables.")
+  in
+  let status_arg =
+    Arg.(value & opt float 0.0 & info [ "status" ] ~docv:"SECS"
+           ~doc:"Print a fleet progress line to stderr every SECS seconds.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Also write fig5_small.csv, fig5_large.csv, fig6.csv and \
+                 findings.csv (bench-harness formats) into DIR.")
+  in
+  let run state corpus config workers daemons daemon_ports heartbeat status
+      out metrics_out verbose =
+    setup_logs verbose;
+    let dispatch =
+      match
+        List.map (fun p -> Fleet.Client.Unix_socket p) daemons
+        @ List.map (fun p -> Fleet.Client.Tcp p) daemon_ports
+      with
+      | [] -> Fleet.Driver.Processes workers
+      | addrs -> Fleet.Driver.Daemons addrs
+    in
+    let options =
+      { (Fleet.Driver.default_options ~state ~corpus ~config ~dispatch) with
+        heartbeat_timeout = heartbeat;
+        status_interval = status }
+    in
+    let metrics = Telemetry.Metrics.create () in
+    match Fleet.Driver.run ~metrics options with
+    | Error e ->
+      Printf.eprintf "mufuzz: fleet: %s\n" e;
+      exit 1
+    | Ok summary ->
+      write_metrics_file metrics metrics_out;
+      Option.iter (fun dir -> Fleet.Driver.write_csvs ~dir ~config summary) out;
+      Printf.printf
+        "fleet complete: %d contracts, %d campaigns failed, %d executions, \
+         %d EVM steps\n"
+        summary.Fleet.Summary.s_contracts
+        (List.length summary.Fleet.Summary.s_failed)
+        summary.Fleet.Summary.s_execs summary.Fleet.Summary.s_steps;
+      List.iter
+        (fun ((tool, size), (cell : Fleet.Summary.cell)) ->
+          Printf.printf "  %-12s %-5s n=%-4d final coverage %.2f%%\n" tool size
+            cell.c_n
+            (if cell.c_n = 0 then 0.0
+             else
+               float_of_int cell.c_final_upct /. float_of_int cell.c_n /. 1e6))
+        summary.Fleet.Summary.s_cells
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Drive a fleet over a sharded corpus: lease shards to worker \
+             processes (or serve daemons), survive worker deaths by lease \
+             reassignment, and merge per-shard summaries into the fleet \
+             aggregate. SIGKILL the coordinator at any point and re-run \
+             with the same arguments to resume; the final aggregate is \
+             identical to an uninterrupted run's.")
+    Term.(const run $ fleet_state_arg $ fleet_corpus_arg $ fleet_config_term
+          $ workers_arg $ daemon_arg $ daemon_port_arg $ heartbeat_arg
+          $ status_arg $ out_arg $ metrics_arg $ verbose_arg)
+
+let fleet_worker_cmd =
+  let shard_arg =
+    Arg.(required & opt (some int) None & info [ "shard" ] ~docv:"K"
+           ~doc:"Shard index to process.")
+  in
+  let run state corpus shard verbose =
+    setup_logs verbose;
+    let config_path = Filename.concat state Fleet.Driver.config_file in
+    match
+      Fleet.Config.of_string (String.trim (Util.Fileio.read_file config_path))
+    with
+    | exception Sys_error e ->
+      Printf.eprintf "mufuzz: fleet worker: %s\n" e;
+      exit 3
+    | Error e ->
+      Printf.eprintf "mufuzz: fleet worker: %s: %s\n" config_path e;
+      exit 3
+    | Ok config -> (
+      match Fleet.Worker.run_shard ~state ~corpus ~shard ~config () with
+      | Ok summary ->
+        Printf.printf "shard %d done: %d contracts, %d campaign failures\n"
+          shard summary.Fleet.Summary.s_contracts
+          (List.length summary.Fleet.Summary.s_failed)
+      | Error e ->
+        Printf.eprintf "mufuzz: fleet worker: shard %d: %s\n" shard e;
+        exit 3)
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Process one corpus shard (normally spawned by $(b,fleet run), \
+             which passes --state/--corpus/--shard). Reads the fleet config \
+             pinned in the state directory, streams the shard, and \
+             publishes progress and the final shard summary.")
+    Term.(const run $ fleet_state_arg $ fleet_corpus_arg $ shard_arg
+          $ verbose_arg)
+
+let fleet_status_cmd =
+  let run state =
+    match Fleet.Ledger.load ~dir:state with
+    | Error e ->
+      Printf.eprintf "mufuzz: fleet status: %s\n" e;
+      exit 1
+    | Ok None ->
+      Printf.printf "%s: no fleet ledger (nothing started yet)\n" state
+    | Ok (Some ledger) ->
+      Array.iteri
+        (fun k st ->
+          match (st : Fleet.Ledger.state) with
+          | Fleet.Ledger.Pending -> Printf.printf "  shard %d: pending\n" k
+          | Fleet.Ledger.Leased { l_worker } ->
+            Printf.printf "  shard %d: leased to worker %d\n" k l_worker
+          | Fleet.Ledger.Done { d_contracts; d_failed } ->
+            Printf.printf "  shard %d: done (%d contracts, %d failures)\n" k
+              d_contracts d_failed)
+        ledger.Fleet.Ledger.lg_states;
+      Printf.printf "%d/%d shards done, %d lease reassignments\n"
+        (Fleet.Ledger.done_count ledger)
+        (Fleet.Ledger.shards ledger)
+        ledger.Fleet.Ledger.lg_reassignments
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Print the fleet ledger's per-shard state.")
+    Term.(const run $ fleet_state_arg)
+
+let fleet_cmd =
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:"D1-scale fleet orchestration: shard a corpus, drive it across \
+             worker processes or serve daemons with crash-safe lease \
+             accounting, aggregate results in bounded memory.")
+    [ fleet_shard_cmd; fleet_run_cmd; fleet_worker_cmd; fleet_status_cmd ]
+
 let () =
   let info =
     Cmd.info "mufuzz" ~version:"1.0.0"
@@ -847,7 +1144,7 @@ let () =
   let group =
     Cmd.group info
       [ fuzz_cmd; resume_cmd; analyze_cmd; disasm_cmd; exec_cmd; static_cmd;
-        corpus_cmd; shrink_cmd; repro_cmd; serve_cmd; client_cmd ]
+        corpus_cmd; shrink_cmd; repro_cmd; serve_cmd; client_cmd; fleet_cmd ]
   in
   (* [~catch:false] so a stray exception becomes one structured error
      line and a distinct exit code, not a backtrace dump *)

@@ -1,0 +1,77 @@
+module J = Telemetry.Json
+
+type addr = Unix_socket of string | Tcp of int
+
+let addr_to_string = function
+  | Unix_socket p -> p
+  | Tcp port -> Printf.sprintf "127.0.0.1:%d" port
+
+type t = { ic : in_channel; oc : out_channel; fd : Unix.file_descr }
+
+let connect addr =
+  let domain, sockaddr =
+    match addr with
+    | Unix_socket p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+    | Tcp port ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  match
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd sockaddr
+     with e ->
+       Unix.close fd;
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "%s: cannot connect: %s" (addr_to_string addr)
+         (Unix.error_message e))
+  | fd -> (
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (* the handshake line; verify it really is a mufuzz-serve daemon *)
+    match input_line ic with
+    | exception End_of_file ->
+      close_in_noerr ic;
+      Error
+        (Printf.sprintf "%s: server closed the connection before greeting"
+           (addr_to_string addr))
+    | greeting -> (
+      match J.of_string greeting with
+      | Error e ->
+        close_in_noerr ic;
+        Error (Printf.sprintf "%s: bad greeting: %s" (addr_to_string addr) e)
+      | Ok g ->
+        if Option.bind (J.member "ok" g) J.to_bool = Some true then
+          Ok { ic; oc; fd }
+        else begin
+          close_in_noerr ic;
+          Error
+            (Printf.sprintf "%s: greeting not ok: %s" (addr_to_string addr)
+               greeting)
+        end))
+
+let close t = try close_in_noerr t.ic with _ -> ()
+
+let request t json =
+  match
+    output_string t.oc (J.to_string json);
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Sys_error e -> Error e
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | line -> (
+    match J.of_string line with
+    | Error e -> Error (Printf.sprintf "bad response: %s" e)
+    | Ok resp ->
+      if Option.bind (J.member "ok" resp) J.to_bool = Some true then Ok resp
+      else
+        let detail =
+          Option.value ~default:line
+            (Option.bind (J.member "error" resp) J.string_value)
+        in
+        Error detail)

@@ -1,0 +1,20 @@
+(** Minimal blocking client for the [mufuzz serve] line-delimited JSON
+    protocol — what the fleet driver uses in [--daemon] dispatch mode
+    to farm campaigns out to running daemons instead of forking local
+    workers. *)
+
+type addr = Unix_socket of string | Tcp of int
+
+val addr_to_string : addr -> string
+
+type t
+
+val connect : addr -> (t, string) result
+(** Open a connection and consume/verify the server greeting. *)
+
+val request : t -> Telemetry.Json.t -> (Telemetry.Json.t, string) result
+(** Send one request object, read one response line. [Ok] responses are
+    the parsed object; [{"ok": false}] responses surface as [Error]
+    with the server's message. *)
+
+val close : t -> unit

@@ -1,0 +1,45 @@
+(** Fleet-wide run parameters, persisted as [fleet.json] in the fleet
+    state directory. A resumed fleet must present a byte-identical
+    config ({!digest}) — the campaign seeds, budgets and curve buckets
+    all derive from it, and the resume guarantee (aggregate CSVs equal
+    an uninterrupted run's) only holds when they match. *)
+
+val small_threshold : int
+(** 3632 encoded instructions — the paper's D1 small/large split. *)
+
+type t = {
+  tools : string list;  (** fuzzer profiles every contract runs under *)
+  budget_small : int;  (** executions per campaign, small contracts *)
+  budget_large : int;
+  seed : int64;  (** fleet base seed, xor-folded into per-contract seeds *)
+  checkpoint_every : int;
+      (** campaign checkpoint cadence (executions) inside workers — the
+          granularity at which an in-flight shard replays after a kill *)
+  buckets : int;  (** fixed coverage-over-time curve resolution *)
+}
+
+val default : t
+(** The bench-harness policy: the paper's five fuzzers, budgets
+    1200/2000, seed 0, checkpoint every 500, 10 buckets. *)
+
+val seed_for : t -> string -> int64
+(** Deterministic per-contract campaign seed from the contract name
+    (the bench harness formula, xor the fleet base seed). *)
+
+val size_of_contract : Minisol.Contract.t -> string
+(** ["small"] or ["large"] by {!small_threshold}. *)
+
+val budget_for : t -> size:string -> int
+
+val to_json : t -> Telemetry.Json.t
+val of_json : Telemetry.Json.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val digest : t -> string
+(** Keccak-256 of the canonical rendering; stored in the fleet ledger
+    so a resume with different parameters is rejected instead of
+    silently producing a mixed aggregate. *)
+
+val validate_tools : t -> (unit, string) result
+(** Every [tools] entry must name a known fuzzer profile. *)

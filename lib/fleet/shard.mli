@@ -1,0 +1,64 @@
+(** Versioned, self-describing corpus shards.
+
+    A fleet corpus directory holds [fleet-shard-<k>.jsonl] files plus a
+    [fleet-manifest.json]. Each shard file starts with a header line
+    naming the format, version, shard index and entry count, followed
+    by one JSON object per contract ([name], [source],
+    [source_hash] = Keccak-256 of the source). The manifest records the
+    per-shard counts and a per-shard digest over the entry hashes, so
+    both truncation and silent substitution are detected before any
+    campaign runs.
+
+    The reader is streaming: {!fold} holds exactly one decoded entry at
+    a time, so workers never materialise a shard, let alone the corpus. *)
+
+val current_version : int
+val manifest_file : string
+val shard_file : int -> string
+
+type entry = { name : string; source : string }
+
+type shard_info = {
+  si_file : string;
+  si_count : int;
+  si_hash : string;  (** Keccak over the concatenated entry source hashes *)
+}
+
+type manifest = { m_total : int; m_shards : shard_info list }
+
+val shards : manifest -> int
+
+val bounds : total:int -> shards:int -> int -> int * int
+(** [bounds ~total ~shards k] is the half-open entry-index range shard
+    [k] covers under the balanced contiguous split. *)
+
+val write :
+  dir:string -> shards:int -> total:int -> entry Seq.t -> manifest
+(** Slice [total] entries drawn lazily from the sequence into [shards]
+    contiguous shard files under [dir] (created if missing), each
+    written atomically, then write the manifest. Raises [Invalid_argument]
+    if the sequence runs dry before [total] entries. *)
+
+val write_list : dir:string -> shards:int -> entry list -> manifest
+
+val load_manifest : string -> (manifest, string) result
+(** Read and validate [dir]'s manifest: format tag, version, and the
+    shard counts summing to the recorded total. *)
+
+val manifest_digest : string -> (string, string) result
+(** Keccak-256 of the manifest file bytes — the corpus identity pinned
+    into the fleet ledger. *)
+
+val fold :
+  dir:string ->
+  shard:int ->
+  manifest:manifest ->
+  init:'a ->
+  f:('a -> int -> entry -> 'a) ->
+  ('a, string) result
+(** Stream shard [shard], calling [f acc index entry] per contract.
+    Every entry's hash is verified as it streams past and the shard's
+    aggregate hash is checked against the manifest at the end; header
+    mismatches, version skew, truncation, trailing data and hash
+    mismatches all surface as [Error]. Exceptions raised by [f]
+    propagate (the channel is closed either way). *)

@@ -2010,7 +2010,26 @@ let run_parallel ?(config = Config.default) ?pool ?(sinks = []) ?metrics
     report
   end
 
+type failure = { failed_contract : string; failed_reason : string }
+
+let run_result ?config ?sinks ?metrics ?resume ?on_safe_point contract =
+  match run ?config ?sinks ?metrics ?resume ?on_safe_point contract with
+  | report -> Ok report
+  | exception Preempt ->
+    (* a cooperative yield is control flow, not a broken contract *)
+    raise Preempt
+  | exception e ->
+    let failed_reason =
+      match e with
+      | Pool.Task_error inner ->
+        Printf.sprintf "worker task failed: %s" (Printexc.to_string inner)
+      | e -> Printexc.to_string e
+    in
+    Error
+      { failed_contract = contract.Minisol.Contract.name; failed_reason }
+
 let run_many ?(config = Config.default) ?pool contracts =
   match pool with
-  | Some p when Pool.size p > 1 -> Pool.map p (fun c -> run ~config c) contracts
-  | _ -> List.map (fun c -> run ~config c) contracts
+  | Some p when Pool.size p > 1 ->
+    Pool.map p (fun c -> run_result ~config c) contracts
+  | _ -> List.map (fun c -> run_result ~config c) contracts

@@ -142,12 +142,40 @@ val run_parallel :
     merge, and an internally created pool reports [Pool_steal] events
     through the same bus. *)
 
+type failure = { failed_contract : string; failed_reason : string }
+(** One corpus member whose deploy or campaign raised. Fleet-scale runs
+    fold these into the aggregate report instead of dying on the first
+    bad contract. *)
+
+val run_result :
+  ?config:Config.t ->
+  ?sinks:Telemetry.Sink.t list ->
+  ?metrics:Telemetry.Metrics.t ->
+  ?resume:string * snapshot ->
+  ?on_safe_point:
+    (final:bool ->
+    bus:Telemetry.Bus.t ->
+    execs:int ->
+    (unit -> snapshot) ->
+    unit) ->
+  Minisol.Contract.t ->
+  (Report.t, failure) result
+(** {!run}, but any exception the contract's deploy or campaign raises
+    (including a {!Pool.Task_error} from a worker domain) is caught and
+    returned as a structured {!failure}. {!Preempt} is re-raised — a
+    cooperative yield is not a failure. *)
+
 val run_many :
-  ?config:Config.t -> ?pool:Pool.t -> Minisol.Contract.t list -> Report.t list
+  ?config:Config.t ->
+  ?pool:Pool.t ->
+  Minisol.Contract.t list ->
+  (Report.t, failure) result list
 (** Batch mode: one sequential campaign per contract, sharded across the
-    pool (the bench-harness granularity). Report order follows the input
-    order. Without a pool (or with a 1-worker pool) this is [List.map]
-    of {!run}. *)
+    pool (the bench-harness granularity). Result order follows the input
+    order; a contract that raises yields an [Error] entry and the rest
+    of the population keeps fuzzing (fleet runs must survive bad corpus
+    members). Without a pool (or with a 1-worker pool) this is
+    [List.map] of {!run_result}. *)
 
 val derive_sequence : Minisol.Contract.t -> string list
 (** The §IV-A sequence for a contract (constructor excluded), exposed

@@ -9,6 +9,9 @@ type t =
   | Batch_merge of { round : int; execs : int; covered : int }
   | Checkpoint_written of { execs : int; path : string }
   | Checkpoint_loaded of { execs : int; path : string }
+  | Fleet_shard_leased of { shard : int; worker : int }
+  | Fleet_shard_done of { shard : int; contracts : int; failed : int }
+  | Fleet_lease_reassigned of { shard : int; worker : int }
 
 let kind = function
   | Exec_completed _ -> "exec-completed"
@@ -21,6 +24,9 @@ let kind = function
   | Batch_merge _ -> "batch-merge"
   | Checkpoint_written _ -> "checkpoint-written"
   | Checkpoint_loaded _ -> "checkpoint-loaded"
+  | Fleet_shard_leased _ -> "fleet-shard-leased"
+  | Fleet_shard_done _ -> "fleet-shard-done"
+  | Fleet_lease_reassigned _ -> "fleet-lease-reassigned"
 
 let to_json ev =
   let tag = ("event", Json.String (kind ev)) in
@@ -44,6 +50,14 @@ let to_json ev =
     Json.Obj [ tag; ("execs", Int execs); ("path", String path) ]
   | Checkpoint_loaded { execs; path } ->
     Json.Obj [ tag; ("execs", Int execs); ("path", String path) ]
+  | Fleet_shard_leased { shard; worker } ->
+    Json.Obj [ tag; ("shard", Int shard); ("worker", Int worker) ]
+  | Fleet_shard_done { shard; contracts; failed } ->
+    Json.Obj
+      [ tag; ("shard", Int shard); ("contracts", Int contracts);
+        ("failed", Int failed) ]
+  | Fleet_lease_reassigned { shard; worker } ->
+    Json.Obj [ tag; ("shard", Int shard); ("worker", Int worker) ]
 
 let of_json json =
   let field name conv =
@@ -102,6 +116,19 @@ let of_json json =
     let* execs = int "execs" in
     let* path = str "path" in
     Ok (Checkpoint_loaded { execs; path })
+  | "fleet-shard-leased" ->
+    let* shard = int "shard" in
+    let* worker = int "worker" in
+    Ok (Fleet_shard_leased { shard; worker })
+  | "fleet-shard-done" ->
+    let* shard = int "shard" in
+    let* contracts = int "contracts" in
+    let* failed = int "failed" in
+    Ok (Fleet_shard_done { shard; contracts; failed })
+  | "fleet-lease-reassigned" ->
+    let* shard = int "shard" in
+    let* worker = int "worker" in
+    Ok (Fleet_lease_reassigned { shard; worker })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
 let pp fmt ev = Format.pp_print_string fmt (Json.to_string (to_json ev))

@@ -35,6 +35,16 @@ type t =
   | Checkpoint_loaded of { execs : int; path : string }
       (** a campaign resumed from the checkpoint at [path], captured at
           execution count [execs] *)
+  | Fleet_shard_leased of { shard : int; worker : int }
+      (** the fleet coordinator leased corpus shard [shard] to worker
+          slot [worker] *)
+  | Fleet_shard_done of { shard : int; contracts : int; failed : int }
+      (** a worker completed its shard: [contracts] contracts folded
+          into the shard summary, [failed] of them recorded as
+          structured failures *)
+  | Fleet_lease_reassigned of { shard : int; worker : int }
+      (** shard [shard]'s lease was reclaimed (worker death, stale
+          heartbeat, or a coordinator restart) and will be re-leased *)
 
 val kind : t -> string
 (** The ["event"] tag, kebab-case: ["exec-completed"], … *)

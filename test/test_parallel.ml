@@ -291,13 +291,35 @@ let campaign_tests =
         Mufuzz.Pool.with_pool ~jobs:2 (fun pool ->
             let names =
               List.map
-                (fun (r : Mufuzz.Report.t) -> r.contract_name)
+                (function
+                  | Ok (r : Mufuzz.Report.t) -> r.contract_name
+                  | Error (f : Mufuzz.Campaign.failure) -> f.failed_contract)
                 (Mufuzz.Campaign.run_many ~config ~pool [ c; c; c ])
             in
             Alcotest.(check (list string))
               "order"
               [ c.Minisol.Contract.name; c.name; c.name ]
               names));
+    unit "run_many survives a bad corpus member" (fun () ->
+        let c = Lazy.force crowdsale in
+        (* a contract with no ABI at all cannot even bootstrap a seed:
+           its campaign raises — the fleet-robustness regression is that
+           the siblings still complete and the failure is structured *)
+        let broken = { c with Minisol.Contract.abi = [] } in
+        let config = { Mufuzz.Config.default with max_executions = 100 } in
+        let results = Mufuzz.Campaign.run_many ~config [ c; broken; c ] in
+        (match results with
+        | [ Ok a; Error f; Ok b ] ->
+          Alcotest.(check string) "first ok" c.Minisol.Contract.name
+            a.contract_name;
+          Alcotest.(check string) "failure names the contract"
+            c.Minisol.Contract.name f.failed_contract;
+          Alcotest.(check bool) "failure carries a reason" true
+            (String.length f.failed_reason > 0);
+          Alcotest.(check string) "third ok" c.Minisol.Contract.name
+            b.contract_name
+        | _ -> Alcotest.fail "expected [Ok; Error; Ok]");
+        ());
   ]
 
 let suite =

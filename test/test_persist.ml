@@ -50,13 +50,10 @@ let normalized report =
             fields))
   | j -> J.to_string j
 
-let temp_dir =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    let dir = Printf.sprintf "persist-tmp-%d-%d" (Unix.getpid ()) !n in
-    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-    dir
+(* scratch dirs route through Util.Fileio so an aborted test run
+   cannot strand persist-tmp-* litter in the working tree — the
+   at_exit hook sweeps everything the process created *)
+let temp_dir () = Util.Fileio.temp_dir ~prefix:"persist-tmp" ()
 
 let no_temp_leftovers dir =
   Array.for_all

@@ -15,31 +15,8 @@ let qprop name ?(count = 200) ~print gen f =
 (* Engine state directories live under the system temp dir — never the
    working directory, which would litter the repo root when the test
    binary is run outside the dune sandbox — and every one is removed on
-   process exit. *)
-let rec rm_rf path =
-  match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_DIR; _ } ->
-    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
-    Unix.rmdir path
-  | _ -> Sys.remove path
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
-
-let temp_dir =
-  let n = ref 0 in
-  let created = ref [] in
-  at_exit (fun () ->
-      List.iter (fun d -> try rm_rf d with Sys_error _ | Unix.Unix_error _ -> ())
-        !created);
-  fun () ->
-    incr n;
-    let dir =
-      Filename.concat
-        (Filename.get_temp_dir_name ())
-        (Printf.sprintf "serve-tmp-%d-%d" (Unix.getpid ()) !n)
-    in
-    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-    created := dir :: !created;
-    dir
+   process exit by Util.Fileio's at_exit sweep. *)
+let temp_dir () = Util.Fileio.temp_dir ~prefix:"serve-tmp" ()
 
 let engine ?(slice_execs = 150) () =
   Engine.create ~slice_execs ~state_dir:(temp_dir ())

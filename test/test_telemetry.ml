@@ -122,6 +122,14 @@ let event_gen =
       map2
         (fun execs path -> E.Checkpoint_loaded { execs; path })
         nat (string_size ~gen:printable (int_range 0 30));
+      map2 (fun shard worker -> E.Fleet_shard_leased { shard; worker }) nat nat;
+      map3
+        (fun shard contracts failed ->
+          E.Fleet_shard_done { shard; contracts; failed })
+        nat nat nat;
+      map2
+        (fun shard worker -> E.Fleet_lease_reassigned { shard; worker })
+        nat nat;
     ]
 
 let event_tests =
@@ -154,9 +162,12 @@ let event_tests =
               E.Batch_merge { round = 1; execs = 1; covered = 1 };
               E.Checkpoint_written { execs = 1; path = "ck/a.json" };
               E.Checkpoint_loaded { execs = 1; path = "ck/a.json" };
+              E.Fleet_shard_leased { shard = 0; worker = 1 };
+              E.Fleet_shard_done { shard = 0; contracts = 8; failed = 1 };
+              E.Fleet_lease_reassigned { shard = 0; worker = 1 };
             ]
         in
-        Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare kinds));
+        Alcotest.(check int) "distinct" 13 (List.length (List.sort_uniq compare kinds));
         List.iter
           (fun k ->
             Alcotest.(check bool) (k ^ " is kebab") true
